@@ -1,0 +1,238 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation.
+// Each benchmark reports the paper's headline metrics as custom units next
+// to the usual ns/op, so `go test -bench=.` doubles as the reproduction
+// harness:
+//
+//	BenchmarkFig11bSpeedup   ...  1.57 freq-gain-500mV  1.44 perf-gain-500mV
+//
+// The workload is sized for stable rates at benchmark time; cmd/figures
+// runs the same experiments at larger scale.
+package lowvcc_test
+
+import (
+	"testing"
+
+	"lowvcc/internal/circuit"
+	"lowvcc/internal/core"
+	"lowvcc/internal/sim"
+	"lowvcc/internal/trace"
+	"lowvcc/internal/workload"
+)
+
+func benchSuite() []*trace.Trace {
+	return sim.SuiteSpec{InstsPerTrace: 20000, SeedsPerProfile: 1}.Traces()
+}
+
+// BenchmarkFig1DelayModel regenerates Figure 1 (delay curves vs Vcc).
+func BenchmarkFig1DelayModel(b *testing.B) {
+	var rows []sim.Fig1Row
+	for i := 0; i < b.N; i++ {
+		rows = sim.Figure1()
+	}
+	for _, r := range rows {
+		if r.Vcc == 450 {
+			b.ReportMetric(r.BitcellWrite, "write-delay-450mV")
+			b.ReportMetric(r.BitcellRead, "read-delay-450mV")
+		}
+	}
+}
+
+// BenchmarkFig11aCycleTime regenerates Figure 11(a) (cycle times vs Vcc).
+func BenchmarkFig11aCycleTime(b *testing.B) {
+	var rows []sim.Fig11aRow
+	for i := 0; i < b.N; i++ {
+		rows = sim.Figure11a()
+	}
+	for _, r := range rows {
+		if r.Vcc == 500 {
+			b.ReportMetric(r.BaselineCycle, "baseline-cycle-500mV")
+			b.ReportMetric(r.IRAWCycle, "iraw-cycle-500mV")
+		}
+	}
+}
+
+// BenchmarkFig11bSpeedup regenerates Figure 11(b): frequency and
+// performance gains (paper: +57%/+48% at 500 mV, +99%/+90% at 400 mV).
+func BenchmarkFig11bSpeedup(b *testing.B) {
+	traces := benchSuite()
+	var rows []sim.Fig11bRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = sim.Figure11b(traces)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		switch r.Vcc {
+		case 500:
+			b.ReportMetric(r.FreqGain, "freq-gain-500mV")
+			b.ReportMetric(r.PerfGain, "perf-gain-500mV")
+		case 400:
+			b.ReportMetric(r.FreqGain, "freq-gain-400mV")
+			b.ReportMetric(r.PerfGain, "perf-gain-400mV")
+		}
+	}
+}
+
+// BenchmarkFig12EDP regenerates Figure 12: relative energy, delay and EDP
+// (paper: EDP 0.61 at 500 mV, 0.41 at 450 mV, 0.33 at 400 mV).
+func BenchmarkFig12EDP(b *testing.B) {
+	traces := benchSuite()
+	var rows []sim.Fig12Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = sim.Figure12(traces)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		switch r.Vcc {
+		case 500:
+			b.ReportMetric(r.RelEDP, "rel-EDP-500mV")
+		case 450:
+			b.ReportMetric(r.RelEDP, "rel-EDP-450mV")
+		case 400:
+			b.ReportMetric(r.RelEDP, "rel-EDP-400mV")
+		}
+	}
+}
+
+// BenchmarkTable1Mechanisms regenerates the quantitative Table 1 comparison
+// (IRAW vs Faulty Bits vs Extra Bypass at 500 mV).
+func BenchmarkTable1Mechanisms(b *testing.B) {
+	traces := benchSuite()
+	var res *sim.Table1Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = sim.Table1(traces, 500)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range res.Rows {
+		switch r.Mode {
+		case circuit.ModeIRAW:
+			b.ReportMetric(r.PerfGain, "iraw-perf-gain")
+		case circuit.ModeFaultyBits:
+			b.ReportMetric(r.PerfGain, "faultybits-perf-gain")
+		case circuit.ModeExtraBypass:
+			b.ReportMetric(r.PerfGain, "extrabypass-perf-gain")
+		}
+	}
+}
+
+// BenchmarkStallBreakdown575 regenerates the Section 5.2 decomposition
+// (paper: 8.86% total = 8.52% RF + 0.30% DL0 + 0.04% rest at 575 mV) and
+// the 13.2%-delayed-instructions statistic.
+func BenchmarkStallBreakdown575(b *testing.B) {
+	traces := benchSuite()
+	var bd *sim.BreakdownResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		bd, err = sim.Breakdown(traces, 575)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*bd.PerfDrop, "perf-drop-%")
+	b.ReportMetric(100*bd.RFShare, "rf-share-%")
+	b.ReportMetric(100*bd.DL0Share, "dl0-share-%")
+	b.ReportMetric(100*bd.DelayedFraction, "delayed-%")
+}
+
+// BenchmarkBPStats regenerates the Section 4.5 prediction-only statistics
+// (paper: 0.0017% potential extra mispredictions, no RSB conflicts).
+func BenchmarkBPStats(b *testing.B) {
+	traces := benchSuite()
+	var res *sim.BPStatsResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = sim.BPStats(traces, 500)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*res.PotentialCorruptionRate, "bp-corrupt-%")
+	b.ReportMetric(float64(res.RSBConflicts), "rsb-conflicts")
+}
+
+// BenchmarkOverheads regenerates the Section 5.3 area/energy accounting
+// (paper: <0.03% area, <1% energy).
+func BenchmarkOverheads(b *testing.B) {
+	var a = sim.IRAWOverheads()
+	for i := 0; i < b.N; i++ {
+		a = sim.IRAWOverheads()
+	}
+	b.ReportMetric(100*a.OverheadFraction(), "area-ovh-%")
+	b.ReportMetric(100*a.EnergyOverheadFraction(), "energy-ovh-%")
+}
+
+// BenchmarkEDP450Example regenerates the Section 5.3 worked example
+// (paper illustration: 5 J unconstrained, 8.50 J baseline, 6.40 J IRAW).
+func BenchmarkEDP450Example(b *testing.B) {
+	traces := benchSuite()
+	var res *sim.EDP450Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = sim.EDP450(traces)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Baseline.Total(), "baseline-J")
+	b.ReportMetric(res.IRAW.Total(), "iraw-J")
+}
+
+// BenchmarkNSweepAblation measures the forced-N ablation (Section 5.2's
+// "different technology nodes" scenario).
+func BenchmarkNSweepAblation(b *testing.B) {
+	traces := benchSuite()
+	var rows []sim.NSweepRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = sim.NSweep(traces, 500, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.N == 1 || r.N == 3 {
+			b.ReportMetric(r.PerfGain, "perf-gain-N"+string(rune('0'+r.N)))
+		}
+	}
+}
+
+// BenchmarkCompilerResched measures the future-work compiler extension.
+func BenchmarkCompilerResched(b *testing.B) {
+	traces := benchSuite()
+	var res *sim.ReschedResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = sim.CompilerResched(traces, 500, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*res.DelayedBefore, "delayed-before-%")
+	b.ReportMetric(100*res.DelayedAfter, "delayed-after-%")
+}
+
+// BenchmarkCoreThroughput measures raw simulator speed (instructions
+// simulated per second), the practical cost of every experiment above.
+func BenchmarkCoreThroughput(b *testing.B) {
+	tr := workload.Generate(workload.SpecInt(), 50000, 1)
+	c := core.MustNew(core.DefaultConfig(500, circuit.ModeIRAW))
+	if _, err := c.Run(tr); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Run(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(0)
+	b.ReportMetric(float64(tr.Len())*float64(b.N)/b.Elapsed().Seconds(), "insts/s")
+}

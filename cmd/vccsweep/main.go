@@ -1,0 +1,71 @@
+// Command vccsweep sweeps the full voltage range for one or more designs
+// and prints the frequency/performance/EDP series (the data behind
+// Figures 11 and 12).
+//
+//	vccsweep -insts 60000 -seeds 2
+//	vccsweep -modes baseline,iraw,faultybits
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lowvcc/internal/circuit"
+	"lowvcc/internal/report"
+	"lowvcc/internal/sim"
+)
+
+func main() {
+	insts := flag.Int("insts", 40000, "instructions per trace")
+	seeds := flag.Int("seeds", 1, "traces per workload class")
+	modesFlag := flag.String("modes", "baseline,iraw", "comma-separated designs to sweep")
+	csv := flag.Bool("csv", false, "emit CSV")
+	flag.Parse()
+
+	if err := run(*insts, *seeds, *modesFlag, *csv); err != nil {
+		fmt.Fprintln(os.Stderr, "vccsweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(insts, seeds int, modesFlag string, csv bool) error {
+	var modes []circuit.Mode
+	for _, s := range strings.Split(modesFlag, ",") {
+		switch strings.TrimSpace(s) {
+		case "baseline":
+			modes = append(modes, circuit.ModeBaseline)
+		case "iraw":
+			modes = append(modes, circuit.ModeIRAW)
+		case "faultybits":
+			modes = append(modes, circuit.ModeFaultyBits)
+		case "extrabypass":
+			modes = append(modes, circuit.ModeExtraBypass)
+		default:
+			return fmt.Errorf("unknown mode %q", s)
+		}
+	}
+	traces := sim.SuiteSpec{InstsPerTrace: insts, SeedsPerProfile: seeds}.Traces()
+	sweep, err := sim.Sweep(traces, modes, circuit.Levels())
+	if err != nil {
+		return err
+	}
+	header := []string{"Vcc"}
+	for _, m := range modes {
+		header = append(header, m.String()+"-ipc", m.String()+"-time", m.String()+"-freqgain")
+	}
+	t := report.NewTable("Vcc sweep (time in phase-at-700mV units)", header...)
+	for _, v := range circuit.Levels() {
+		row := []interface{}{v}
+		for _, m := range modes {
+			p := sweep[m][v].Agg
+			row = append(row, p.IPC(), fmt.Sprintf("%.0f", p.Time), p.Plan.FreqGain)
+		}
+		t.AddRow(row...)
+	}
+	if csv {
+		return t.RenderCSV(os.Stdout)
+	}
+	return t.Render(os.Stdout)
+}

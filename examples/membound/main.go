@@ -1,0 +1,49 @@
+// Memory-bound study: the paper notes performance gains trail frequency
+// gains partly because "off-chip memory latency remains constant"
+// (Section 5.2, effect i). This example runs a cache-hostile streaming
+// workload next to a compute workload and shows the IRAW speedup shrinking
+// as the memory-bound fraction grows — the faster clock just waits more
+// cycles for the same nanoseconds of DRAM. It also surfaces the Store
+// Table at work: forwards and store replays on the store-heavy stream.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lowvcc"
+)
+
+func main() {
+	const vcc = lowvcc.Millivolts(450)
+	workloads := []lowvcc.Profile{
+		lowvcc.SpecIntProfile(),
+		lowvcc.WorkstationProfile(),
+		lowvcc.MemBoundProfile(),
+	}
+	fmt.Printf("at %v (frequency gain %.2fx):\n\n", vcc,
+		lowvcc.DelayModel().FreqGain(vcc))
+	fmt.Println("workload     UL1-missrate  mem-stall  speedup  STable-fwd  replays")
+	for _, p := range workloads {
+		tr := lowvcc.GenerateTrace(p, 60000, 9)
+		base, err := lowvcc.RunWarm(lowvcc.DefaultConfig(vcc, lowvcc.ModeBaseline), tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		iraw, err := lowvcc.RunWarm(lowvcc.DefaultConfig(vcc, lowvcc.ModeIRAW), tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		missRate := 0.0
+		if iraw.UL1.Accesses > 0 {
+			missRate = float64(iraw.UL1.Misses) / float64(iraw.UL1.Accesses)
+		}
+		memStall := iraw.Run.StallFraction(6) // stats.StallMemory
+		fmt.Printf("%-12s %8.1f%%  %8.1f%%  %6.2fx  %10d  %7d\n",
+			p.Name, 100*missRate, 100*memStall, base.Time/iraw.Time,
+			iraw.Mem.STableForwards, iraw.Mem.RepairedDestructions)
+	}
+	fmt.Println("\nthe cache-hostile stream keeps the lowest speedup: its off-chip")
+	fmt.Println("portion is constant-time DRAM, which the frequency gain cannot")
+	fmt.Println("touch — Section 5.2's effect (i) in isolation.")
+}

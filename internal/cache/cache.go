@@ -1,0 +1,534 @@
+// Package cache implements the cache-like SRAM blocks of the core — IL0,
+// DL0, UL1, the TLBs, fill buffers and the write-combining/eviction buffer
+// — together with their IRAW-avoidance policies:
+//
+//   - unfrequently written blocks (IL0, UL1, ITLB, DTLB, WCB/EB, FB) stall
+//     every port for N cycles after a fill (Section 4.3);
+//   - the frequently written DL0 uses the Store Table for store traffic and
+//     fill-stalling for line fills (Section 4.4);
+//   - a Faulty-Bits comparison variant disables lines that fail timing at a
+//     reduced variation margin (Section 2.2).
+//
+// Data arrays are backed by sram.Array, so stabilization windows, violating
+// reads and set-wide collateral destruction are modelled physically, and the
+// integration tests can prove the avoidance policies keep data intact.
+package cache
+
+import (
+	"fmt"
+
+	"lowvcc/internal/rng"
+	"lowvcc/internal/sram"
+)
+
+// Config describes one cache-like block.
+type Config struct {
+	Name      string
+	Sets      int // power of two
+	Ways      int
+	LineBytes int // power of two (page size for TLBs)
+	// HitLatency is the extra cycles a hit adds beyond the pipeline's
+	// built-in access latency.
+	HitLatency int
+}
+
+func (c Config) validate() error {
+	if c.Sets <= 0 || c.Sets&(c.Sets-1) != 0 {
+		return fmt.Errorf("cache %q: Sets %d must be a positive power of two", c.Name, c.Sets)
+	}
+	if c.Ways <= 0 {
+		return fmt.Errorf("cache %q: Ways %d must be positive", c.Name, c.Ways)
+	}
+	if c.LineBytes <= 0 || c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache %q: LineBytes %d must be a positive power of two", c.Name, c.LineBytes)
+	}
+	if c.HitLatency < 0 {
+		return fmt.Errorf("cache %q: negative HitLatency", c.Name)
+	}
+	return nil
+}
+
+// SizeBytes returns the data capacity.
+func (c Config) SizeBytes() int { return c.Sets * c.Ways * c.LineBytes }
+
+// Stats counts cache activity.
+type Stats struct {
+	Accesses    uint64
+	Hits        uint64
+	Misses      uint64
+	Fills       uint64
+	Evictions   uint64
+	DirtyEvicts uint64
+	// FillStallCycles counts cycles accesses waited out a post-fill
+	// stabilization window (the Section 4.3 policy cost).
+	FillStallCycles uint64
+	DisabledLines   int
+}
+
+// Cache is one cache-like SRAM block. Not goroutine-safe.
+type Cache struct {
+	cfg      Config
+	tags     []uint64
+	valid    []bool
+	dirty    []bool
+	disabled []bool
+	// validFrom is the cycle from which an entry's tag match is visible:
+	// a fill completes in the future, so the line must not hit before then.
+	validFrom []int64
+	lru       []uint64
+	lruTick   uint64
+	// inflight tracks outstanding fills per line (MSHR semantics): a
+	// second miss to an in-flight line merges with it instead of issuing a
+	// duplicate request.
+	inflight map[uint64]int64
+	data     *sram.Array
+	// holds are port-busy windows [from, to]: a fill completing at a
+	// future cycle holds the ports only during its stabilization window,
+	// not from the present.
+	holds       []holdWindow
+	n           int  // stabilization cycles (0 = IRAW off)
+	interrupted bool // whether writes are interrupted (IRAW clocking)
+	avoid       bool // whether the fill-stall avoidance policy is active
+	stats       Stats
+
+	lineShift uint
+	setMask   uint64
+}
+
+// New returns an empty cache.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	entries := cfg.Sets * cfg.Ways
+	data, err := sram.New(sram.Config{
+		Name:          cfg.Name,
+		Entries:       entries,
+		BytesPerEntry: 8, // line signature (integrity oracle), not full payload
+		EntriesPerSet: cfg.Ways,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c := &Cache{
+		cfg:       cfg,
+		tags:      make([]uint64, entries),
+		valid:     make([]bool, entries),
+		dirty:     make([]bool, entries),
+		disabled:  make([]bool, entries),
+		validFrom: make([]int64, entries),
+		lru:       make([]uint64, entries),
+		inflight:  make(map[uint64]int64),
+		data:      data,
+	}
+	for c.lineShift = 0; 1<<c.lineShift < cfg.LineBytes; c.lineShift++ {
+	}
+	c.setMask = uint64(cfg.Sets - 1)
+	return c, nil
+}
+
+// MustNew is New for static configurations.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Data exposes the backing sram array (violation counters for tests).
+func (c *Cache) Data() *sram.Array { return c.data }
+
+// SetIRAW configures the write-interruption mode, the stabilization count,
+// and whether the fill-stall avoidance policy is active. Interrupted writes
+// with avoidance disabled is the unsafe validation mode: reads may then hit
+// stabilizing entries and the backing sram array counts the violations.
+func (c *Cache) SetIRAW(interrupted bool, n int, avoid bool) {
+	if interrupted && n < 1 {
+		panic(fmt.Sprintf("cache %q: interrupted writes need n >= 1", c.cfg.Name))
+	}
+	c.interrupted = interrupted
+	c.n = n
+	c.avoid = avoid
+}
+
+// SetOf returns the set index of addr.
+func (c *Cache) SetOf(addr uint64) int { return int((addr >> c.lineShift) & c.setMask) }
+
+// LineAddr returns the line-aligned address.
+func (c *Cache) LineAddr(addr uint64) uint64 { return addr &^ (uint64(c.cfg.LineBytes) - 1) }
+
+func (c *Cache) tagOf(addr uint64) uint64 { return addr >> c.lineShift / uint64(c.cfg.Sets) }
+
+func (c *Cache) entry(set, way int) int { return set*c.cfg.Ways + way }
+
+// holdWindow is one port-busy interval, inclusive on both ends.
+type holdWindow struct{ from, to int64 }
+
+// Busy reports whether the block's ports are held at cycle.
+func (c *Cache) Busy(cycle int64) bool {
+	for _, h := range c.holds {
+		if cycle >= h.from && cycle <= h.to {
+			return true
+		}
+	}
+	return false
+}
+
+// holdHorizon bounds how far back an access's time can trail the newest
+// hold registration: accesses are issued in program order but their times
+// can float ahead by at most a TLB walk plus a memory round trip. Windows
+// older than the horizon below the newest registration can never be
+// consulted again and are pruned.
+const holdHorizon = 1 << 13
+
+// HoldPorts marks the ports busy during [from, to] (a fill's stabilization
+// window or a Store-Table replay).
+func (c *Cache) HoldPorts(from, to int64) {
+	if to < from {
+		return
+	}
+	kept := c.holds[:0]
+	for _, h := range c.holds {
+		if h.to >= from-holdHorizon {
+			kept = append(kept, h)
+		}
+	}
+	c.holds = append(kept, holdWindow{from, to})
+}
+
+// WaitPorts returns the first cycle >= cycle at which the block may be
+// accessed, charging the wait to FillStallCycles.
+func (c *Cache) WaitPorts(cycle int64) int64 {
+	start := cycle
+	for moved := true; moved; {
+		moved = false
+		for _, h := range c.holds {
+			if start >= h.from && start <= h.to {
+				start = h.to + 1
+				moved = true
+			}
+		}
+	}
+	if start > cycle {
+		c.stats.FillStallCycles += uint64(start - cycle)
+	}
+	return start
+}
+
+// Lookup probes the cache at the given cycle. On a hit it updates LRU and
+// returns the way. It does not touch the data array (see ReadData).
+func (c *Cache) Lookup(cycle int64, addr uint64) (way int, hit bool) {
+	c.stats.Accesses++
+	set := c.SetOf(addr)
+	tag := c.tagOf(addr)
+	for w := 0; w < c.cfg.Ways; w++ {
+		e := c.entry(set, w)
+		if c.valid[e] && !c.disabled[e] && c.tags[e] == tag && cycle >= c.validFrom[e] {
+			c.stats.Hits++
+			c.lruTick++
+			c.lru[e] = c.lruTick
+			return w, true
+		}
+	}
+	c.stats.Misses++
+	return 0, false
+}
+
+// MarkInFlight registers an outstanding fill of line completing at ready.
+func (c *Cache) MarkInFlight(line uint64, ready int64) { c.inflight[line] = ready }
+
+// InFlightReady reports an outstanding fill of line that completes at or
+// after `now`; expired records are dropped lazily.
+func (c *Cache) InFlightReady(line uint64, now int64) (int64, bool) {
+	r, ok := c.inflight[line]
+	if !ok {
+		return 0, false
+	}
+	if r < now {
+		delete(c.inflight, line)
+		return 0, false
+	}
+	return r, true
+}
+
+// Peek reports whether addr is present without moving LRU or counters.
+func (c *Cache) Peek(addr uint64) bool {
+	set := c.SetOf(addr)
+	tag := c.tagOf(addr)
+	for w := 0; w < c.cfg.Ways; w++ {
+		e := c.entry(set, w)
+		if c.valid[e] && !c.disabled[e] && c.tags[e] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// ReadData performs the physical data-array read of a hit (whole set read;
+// any stabilizing co-resident entry is destroyed — the Section 4.3 hazard).
+// It returns the 8-byte line signature and whether the read was clean.
+func (c *Cache) ReadData(cycle int64, set, way int) (sig uint64, ok bool) {
+	raw, ok := c.data.Read(cycle, c.entry(set, way))
+	if raw == nil {
+		return 0, false
+	}
+	return beUint64(raw), ok
+}
+
+// WriteData writes the line signature of (set, way) — a store or a repair —
+// under the current interruption mode.
+func (c *Cache) WriteData(cycle int64, set, way int, sig uint64) {
+	var buf [8]byte
+	bePutUint64(buf[:], sig)
+	c.data.Write(cycle, c.entry(set, way), buf[:], c.interrupted, c.n)
+}
+
+// Victim selects the fill way for addr's set: an invalid enabled way if one
+// exists, else the LRU enabled way. ok is false when every way of the set
+// is disabled (Faulty-Bits), in which case the line cannot be cached.
+func (c *Cache) Victim(addr uint64) (way int, ok bool) {
+	set := c.SetOf(addr)
+	best, bestTick := -1, uint64(0)
+	for w := 0; w < c.cfg.Ways; w++ {
+		e := c.entry(set, w)
+		if c.disabled[e] {
+			continue
+		}
+		if !c.valid[e] {
+			return w, true
+		}
+		if best < 0 || c.lru[e] < bestTick {
+			best, bestTick = w, c.lru[e]
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+// Fill installs addr's line at the given cycle, returning the evicted
+// line's address and dirtiness (meaningful when evicted is true). The tag
+// and data writes are interrupted under IRAW clocking, so the block's ports
+// are held for the stabilization window ("in case of a fill we stall any
+// access to cache", Section 4.3). sig is the line's data signature.
+func (c *Cache) Fill(cycle int64, addr uint64, sig uint64) (victimAddr uint64, dirty, evicted, ok bool) {
+	way, ok := c.Victim(addr)
+	if !ok {
+		return 0, false, false, false
+	}
+	set := c.SetOf(addr)
+	e := c.entry(set, way)
+	if c.valid[e] {
+		evicted = true
+		dirty = c.dirty[e]
+		victimAddr = (c.tags[e]*uint64(c.cfg.Sets) + uint64(set)) << c.lineShift
+		c.stats.Evictions++
+		if dirty {
+			c.stats.DirtyEvicts++
+		}
+	}
+	c.tags[e] = c.tagOf(addr)
+	c.valid[e] = true
+	c.dirty[e] = false
+	c.validFrom[e] = cycle + 1 // readable the cycle after the fill write
+	c.lruTick++
+	c.lru[e] = c.lruTick
+	c.WriteData(cycle, set, way, sig)
+	c.stats.Fills++
+	// The fill write occupies the ports during its own cycle in every
+	// mode; under IRAW clocking with avoidance the hold extends through
+	// the stabilization window (Section 4.3).
+	hold := cycle
+	if c.interrupted && c.avoid && c.n > 0 {
+		hold = cycle + int64(c.n)
+	}
+	c.HoldPorts(cycle, hold)
+	return victimAddr, dirty, evicted, true
+}
+
+// MarkDirty flags (set, way) dirty (a store hit).
+func (c *Cache) MarkDirty(set, way int) { c.dirty[c.entry(set, way)] = true }
+
+// LineAddrAt reconstructs the line address held at (set, way); valid is
+// false for empty or disabled entries.
+func (c *Cache) LineAddrAt(set, way int) (addr uint64, valid bool) {
+	e := c.entry(set, way)
+	if !c.valid[e] || c.disabled[e] {
+		return 0, false
+	}
+	return (c.tags[e]*uint64(c.cfg.Sets) + uint64(set)) << c.lineShift, true
+}
+
+// CorruptedAt reports whether (set, way)'s data entry holds
+// violation-scrambled contents.
+func (c *Cache) CorruptedAt(set, way int) bool {
+	return c.data.Corrupted(c.entry(set, way))
+}
+
+// Invalidate drops addr if present (used by tests and by UL1 inclusion
+// handling). The data entry is not scrubbed; a later fill rewrites it.
+func (c *Cache) Invalidate(addr uint64) bool {
+	set := c.SetOf(addr)
+	tag := c.tagOf(addr)
+	for w := 0; w < c.cfg.Ways; w++ {
+		e := c.entry(set, w)
+		if c.valid[e] && c.tags[e] == tag {
+			c.valid[e] = false
+			c.dirty[e] = false
+			return true
+		}
+	}
+	return false
+}
+
+// DisableFaultyLines builds a Faulty-Bits fault map: every line fails
+// independently with the given probability (derived from the per-cell
+// failure probability at the reduced margin and the line's bit count).
+// It returns the number of disabled lines.
+func (c *Cache) DisableFaultyLines(src *rng.Source, lineFailProb float64) int {
+	disabled := 0
+	for e := range c.disabled {
+		if src.Bool(lineFailProb) {
+			c.disabled[e] = true
+			c.valid[e] = false
+			disabled++
+		}
+	}
+	c.stats.DisabledLines = disabled
+	return disabled
+}
+
+// TotalBits returns tag+data+state storage for area accounting.
+func (c *Cache) TotalBits() int {
+	entries := c.cfg.Sets * c.cfg.Ways
+	tagBits := 48 - int(c.lineShift) // tag width for a 48-bit address space
+	stateBits := 2                   // valid + dirty
+	return entries*(tagBits+stateBits) + c.cfg.Sets*c.cfg.Ways*c.cfg.LineBytes*8
+}
+
+func beUint64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}
+
+func bePutUint64(b []byte, v uint64) {
+	for i := 7; i >= 0; i-- {
+		b[i] = byte(v)
+		v >>= 8
+	}
+}
+
+// Buffer models a small fully associative buffer (fill buffers, WCB/EB)
+// whose entries are held for a duration: the structures the paper lists
+// among the "unfrequently written cache-like blocks". Allocation writes an
+// entry, so under IRAW clocking the buffer's ports are held for N cycles
+// afterwards.
+type Buffer struct {
+	name        string
+	freeAt      []int64
+	holds       []holdWindow
+	n           int
+	interrupted bool
+	avoid       bool
+	reserved    int // entry picked by Reserve, -1 when none
+
+	Allocs          uint64
+	FullStallCycles uint64
+	FillStallCycles uint64
+}
+
+// NewBuffer returns a buffer with the given entry count.
+func NewBuffer(name string, entries int) *Buffer {
+	if entries <= 0 {
+		panic(fmt.Sprintf("cache: buffer %q needs entries > 0", name))
+	}
+	return &Buffer{name: name, freeAt: make([]int64, entries), reserved: -1}
+}
+
+// SetIRAW configures interruption mode (as for Cache).
+func (b *Buffer) SetIRAW(interrupted bool, n int, avoid bool) {
+	if interrupted && n < 1 {
+		panic(fmt.Sprintf("cache: buffer %q interrupted writes need n >= 1", b.name))
+	}
+	b.interrupted = interrupted
+	b.n = n
+	b.avoid = avoid
+}
+
+// Reserve picks the entry that frees earliest and returns the first cycle
+// >= cycle at which it can be allocated (waiting out port holds and entry
+// occupancy, charging the respective stall counters). The caller computes
+// the completion time and then calls Commit.
+func (b *Buffer) Reserve(cycle int64) int64 {
+	if b.reserved >= 0 {
+		panic(fmt.Sprintf("cache: buffer %q Reserve without Commit", b.name))
+	}
+	start := cycle
+	if b.avoid {
+		for moved := true; moved; {
+			moved = false
+			for _, h := range b.holds {
+				if start >= h.from && start <= h.to {
+					start = h.to + 1
+					moved = true
+				}
+			}
+		}
+		if start > cycle {
+			b.FillStallCycles += uint64(start - cycle)
+		}
+	}
+	best := 0
+	for i, f := range b.freeAt {
+		if f < b.freeAt[best] {
+			best = i
+		}
+	}
+	if b.freeAt[best] > start {
+		b.FullStallCycles += uint64(b.freeAt[best] - start)
+		start = b.freeAt[best]
+	}
+	b.reserved = best
+	return start
+}
+
+// Commit allocates the reserved entry from `start` until `until`
+// (exclusive), applying the post-write port hold under IRAW clocking.
+func (b *Buffer) Commit(start, until int64) {
+	if b.reserved < 0 {
+		panic(fmt.Sprintf("cache: buffer %q Commit without Reserve", b.name))
+	}
+	b.freeAt[b.reserved] = until
+	b.reserved = -1
+	b.Allocs++
+	if b.interrupted && b.avoid && b.n > 0 {
+		kept := b.holds[:0]
+		for _, h := range b.holds {
+			if h.to >= start-holdHorizon {
+				kept = append(kept, h)
+			}
+		}
+		b.holds = append(kept, holdWindow{start + 1, start + int64(b.n)})
+	}
+}
+
+// Acquire is Reserve+Commit for callers that know the hold duration upfront.
+func (b *Buffer) Acquire(cycle int64, hold int) int64 {
+	start := b.Reserve(cycle)
+	b.Commit(start, start+int64(hold))
+	return start
+}
+
+// Size returns the entry count.
+func (b *Buffer) Size() int { return len(b.freeAt) }

@@ -1,0 +1,253 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mode identifies how the core copes with SRAM write delay at low Vcc.
+type Mode int
+
+const (
+	// ModeBaseline scales frequency down so every write completes within a
+	// single cycle ("the realistic baseline" of Section 5).
+	ModeBaseline Mode = iota
+	// ModeIRAW interrupts writes early and avoids immediate reads after
+	// writes (the paper's contribution).
+	ModeIRAW
+	// ModeFaultyBits shortens the cycle by re-margining the write path to
+	// fewer sigmas and disabling the cells that no longer meet timing
+	// (state of the art, Section 2.2).
+	ModeFaultyBits
+	// ModeExtraBypass pipelines writes across several cycles and adds
+	// bypass latches so in-flight values remain reachable (state of the
+	// art, Section 2.2).
+	ModeExtraBypass
+)
+
+// String implements fmt.Stringer.
+func (mo Mode) String() string {
+	switch mo {
+	case ModeBaseline:
+		return "baseline"
+	case ModeIRAW:
+		return "iraw"
+	case ModeFaultyBits:
+		return "faultybits"
+	case ModeExtraBypass:
+		return "extrabypass"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(mo))
+	}
+}
+
+// ClockPlan fixes the timing configuration of a core at one voltage level.
+// It is the contract between the circuit model and the microarchitecture:
+// the pipeline never consults delay curves directly, only its plan.
+type ClockPlan struct {
+	Vcc  Millivolts
+	Mode Mode
+
+	// CycleTime in phase-at-700mV units; Frequency is its reciprocal.
+	CycleTime float64
+	Frequency float64
+
+	// StabilizeCycles is N: how many cycles a freshly written SRAM entry
+	// needs before it may be read. Zero when IRAW is inactive.
+	StabilizeCycles int
+
+	// IRAWActive reports whether write interruption (and therefore all the
+	// avoidance machinery) is enabled. The mechanism is deactivated at high
+	// Vcc where the frequency gain would not pay for the stalls.
+	IRAWActive bool
+
+	// FreqGain is the frequency ratio relative to the baseline plan at the
+	// same voltage (1.0 for the baseline itself).
+	FreqGain float64
+
+	// WritePipelineCycles is the number of cycles a write occupies its port
+	// (1 except in ModeExtraBypass, where writes are pipelined and the port
+	// stays busy).
+	WritePipelineCycles int
+
+	// SigmaMargin is the variation margin the cycle was sized for; designs
+	// below the model's design margin imply faulty cells (ModeFaultyBits).
+	SigmaMargin float64
+}
+
+// CyclesForTime converts an absolute duration (same units as CycleTime)
+// into whole cycles at this plan's frequency, rounding up. It is used to
+// convert the constant off-chip memory latency into cycles, reproducing
+// effect (i) of Section 5.2 (memory latency does not scale with frequency).
+func (cp ClockPlan) CyclesForTime(t float64) int {
+	if t <= 0 {
+		return 0
+	}
+	n := int(t / cp.CycleTime)
+	if float64(n)*cp.CycleTime < t-1e-12 {
+		n++
+	}
+	return n
+}
+
+// PlanBaseline returns the write-constrained baseline plan at v.
+func (m *Model) PlanBaseline(v Millivolts) ClockPlan {
+	cyc := m.BaselineCycle(v)
+	return ClockPlan{
+		Vcc:                 v,
+		Mode:                ModeBaseline,
+		CycleTime:           cyc,
+		Frequency:           1 / cyc,
+		StabilizeCycles:     0,
+		IRAWActive:          false,
+		FreqGain:            1,
+		WritePipelineCycles: 1,
+		SigmaMargin:         m.p.SigmaMargin,
+	}
+}
+
+// PlanIRAW returns the IRAW-avoidance plan at v. The mechanism
+// self-deactivates (reverting to baseline timing, N=0) when the frequency
+// gain falls below Params.ActivationGain, as the paper does at 600 mV and
+// above where stalls would outweigh a ~1% gain.
+func (m *Model) PlanIRAW(v Millivolts) ClockPlan {
+	gain := m.FreqGain(v)
+	if gain < m.p.ActivationGain {
+		cp := m.PlanBaseline(v)
+		cp.Mode = ModeIRAW // still the IRAW design, with avoidance disabled
+		return cp
+	}
+	cyc := m.IRAWCycle(v)
+	return ClockPlan{
+		Vcc:                 v,
+		Mode:                ModeIRAW,
+		CycleTime:           cyc,
+		Frequency:           1 / cyc,
+		StabilizeCycles:     m.StabilizeCycles(v),
+		IRAWActive:          true,
+		FreqGain:            gain,
+		WritePipelineCycles: 1,
+		SigmaMargin:         m.p.SigmaMargin,
+	}
+}
+
+// PlanIRAWForcedN is PlanIRAW with a forced stabilization-cycle count,
+// used by the N-sweep ablation ("our mechanism would work also for
+// different technology nodes or Vcc ranges where the number of IRAW cycles
+// was larger", Section 5.2). It panics if n is out of range.
+func (m *Model) PlanIRAWForcedN(v Millivolts, n int) ClockPlan {
+	if n < 1 || n > m.p.MaxStabilizeCycles {
+		panic(fmt.Sprintf("circuit: forced N=%d out of range [1,%d]", n, m.p.MaxStabilizeCycles))
+	}
+	cp := m.PlanIRAW(v)
+	if !cp.IRAWActive {
+		return cp
+	}
+	cp.StabilizeCycles = n
+	return cp
+}
+
+// IRAWCycleAtSigma is IRAWCycle with the write path re-margined to k
+// sigmas: the combination of write interruption and tolerated faulty bits
+// the paper sketches in Section 4.4 ("both IRAW avoidance and allowing
+// faulty bits can be combined to further increase operating frequency").
+func (m *Model) IRAWCycleAtSigma(v Millivolts, k float64) float64 {
+	phase := m.Phase(v)
+	w := m.Gamma(v) * m.BitcellWriteAtSigma(v, k)
+	second := math.Max(m.WLActivation(v)+w, m.ReadWithWL(v))
+	return 2 * math.Max(phase, second)
+}
+
+// PlanIRAWFaultyBits combines IRAW avoidance with a k-sigma margin: the
+// interrupted write is shorter still, at the cost of fault maps in the
+// cache-like blocks (the RF/IQ stay fully functional — IRAW already covers
+// them, which is what makes this combination feasible where pure Faulty
+// Bits is not).
+func (m *Model) PlanIRAWFaultyBits(v Millivolts, k float64) ClockPlan {
+	base := m.BaselineCycle(v)
+	cyc := m.IRAWCycleAtSigma(v, k)
+	gain := base / cyc
+	if gain < m.p.ActivationGain {
+		cp := m.PlanBaseline(v)
+		cp.Mode = ModeIRAW
+		return cp
+	}
+	n := int(math.Ceil(m.StabilizeTime(v)/cyc - 1e-9))
+	if n < 1 {
+		n = 1
+	}
+	if n > m.p.MaxStabilizeCycles {
+		n = m.p.MaxStabilizeCycles
+	}
+	return ClockPlan{
+		Vcc:                 v,
+		Mode:                ModeIRAW,
+		CycleTime:           cyc,
+		Frequency:           1 / cyc,
+		StabilizeCycles:     n,
+		IRAWActive:          true,
+		FreqGain:            gain,
+		WritePipelineCycles: 1,
+		SigmaMargin:         k,
+	}
+}
+
+// PlanFaultyBits returns a plan for the Faulty-Bits design at k sigmas of
+// margin (k < design margin shortens the cycle; the resulting per-cell
+// failure probability is reported by CellFailProb).
+func (m *Model) PlanFaultyBits(v Millivolts, k float64) ClockPlan {
+	cyc := m.BaselineCycleAtSigma(v, k)
+	base := m.BaselineCycle(v)
+	return ClockPlan{
+		Vcc:                 v,
+		Mode:                ModeFaultyBits,
+		CycleTime:           cyc,
+		Frequency:           1 / cyc,
+		StabilizeCycles:     0,
+		IRAWActive:          false,
+		FreqGain:            base / cyc,
+		WritePipelineCycles: 1,
+		SigmaMargin:         k,
+	}
+}
+
+// PlanExtraBypass returns a plan for the Extra-Bypass design: the clock
+// runs at logic speed and each SRAM write is pipelined over however many
+// cycles the full write needs, keeping the write port busy (Section 2.2:
+// "causing significant write port contention").
+func (m *Model) PlanExtraBypass(v Millivolts) ClockPlan {
+	cyc := 2 * m.Phase(v)
+	writeCycles := ClockPlan{CycleTime: cyc}.CyclesForTime(2 * m.WriteWithWL(v))
+	if writeCycles < 1 {
+		writeCycles = 1
+	}
+	base := m.BaselineCycle(v)
+	return ClockPlan{
+		Vcc:                 v,
+		Mode:                ModeExtraBypass,
+		CycleTime:           cyc,
+		Frequency:           1 / cyc,
+		StabilizeCycles:     0,
+		IRAWActive:          false,
+		FreqGain:            base / cyc,
+		WritePipelineCycles: writeCycles,
+		SigmaMargin:         m.p.SigmaMargin,
+	}
+}
+
+// Plan dispatches on mode with that mode's default knobs (4 sigma for
+// Faulty Bits, per Section 2.2's example of relaxing 6 sigma to 4).
+func (m *Model) Plan(v Millivolts, mode Mode) ClockPlan {
+	switch mode {
+	case ModeBaseline:
+		return m.PlanBaseline(v)
+	case ModeIRAW:
+		return m.PlanIRAW(v)
+	case ModeFaultyBits:
+		return m.PlanFaultyBits(v, 4)
+	case ModeExtraBypass:
+		return m.PlanExtraBypass(v)
+	default:
+		panic(fmt.Sprintf("circuit: unknown mode %v", mode))
+	}
+}

@@ -1,0 +1,45 @@
+package circuit
+
+import "math"
+
+// CellFailProb returns the probability that a single bitcell's write misses
+// the cycle time when the design is margined for k sigmas of variation:
+// the upper-tail probability of a standard normal beyond k.
+//
+// The paper sizes the nominal cycle for 6 sigma ("only one critical path
+// per billion would not fit"); Faulty-Bits designs accept k = 4 or less and
+// disable the offending cells (Section 2.2).
+func CellFailProb(k float64) float64 {
+	return 0.5 * math.Erfc(k/math.Sqrt2)
+}
+
+// LineFailProb returns the probability that at least one of bits cells in a
+// line (or other disable granule) fails at margin k. Faulty-Bits designs
+// disable whole granules, so this is the fraction of disabled capacity.
+func LineFailProb(k float64, bits int) float64 {
+	if bits <= 0 {
+		return 0
+	}
+	p := CellFailProb(k)
+	return 1 - math.Pow(1-p, float64(bits))
+}
+
+// MarginForFailProb inverts CellFailProb: the sigma margin needed for a
+// target per-cell failure probability. Used to express design points such
+// as "one per billion" (~6 sigma). Binary search is plenty fast and has no
+// special-function dependencies beyond Erfc.
+func MarginForFailProb(p float64) float64 {
+	if p >= 0.5 {
+		return 0
+	}
+	lo, hi := 0.0, 10.0
+	for i := 0; i < 80; i++ {
+		mid := (lo + hi) / 2
+		if CellFailProb(mid) > p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}

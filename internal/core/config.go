@@ -1,0 +1,108 @@
+// Package core assembles the paper's contribution: a Silverthorne-like
+// two-wide in-order pipeline whose SRAM blocks (RF, IQ, IL0, DL0, UL1,
+// TLBs, WCB/EB, FB, BP, RSB) run at logic speed at low Vcc by interrupting
+// writes early and avoiding immediate reads after writes, per-structure as
+// described in Sections 3 and 4.
+//
+// A Core is built for one (voltage, mode) operating point, runs traces, and
+// reports cycle counts, stall attribution, violation counters and the
+// activity census for the energy model. The DVFS reconfiguration of
+// Section 4.1.3/4.2/4.4 is exercised via Reconfigure.
+package core
+
+import (
+	"fmt"
+
+	"lowvcc/internal/cache"
+	"lowvcc/internal/circuit"
+	"lowvcc/internal/iq"
+	"lowvcc/internal/predictor"
+	"lowvcc/internal/scoreboard"
+)
+
+// Config describes one simulated operating point.
+type Config struct {
+	// Vcc is the supply level; Mode selects the design (baseline, IRAW,
+	// faulty bits, extra bypass).
+	Vcc  circuit.Millivolts
+	Mode circuit.Mode
+
+	// Width is the issue width (2 for the modelled core).
+	Width int
+
+	Scoreboard scoreboard.Config
+	IQ         iq.Config
+	Hierarchy  cache.HierarchyConfig
+	Predictor  predictor.Config
+
+	// Circuit overrides the delay-model calibration (nil = default).
+	Circuit *circuit.Params
+
+	// MemLatencyTime is the off-chip latency in time units (one clock
+	// phase at 700 mV = 1.0); it is constant across voltage, reproducing
+	// Section 5.2's effect (i).
+	MemLatencyTime float64
+
+	// MispredictPenalty is the fetch-redirect bubble in cycles.
+	MispredictPenalty int
+
+	// FrontDepth is the fetch-to-allocate depth in cycles.
+	FrontDepth int
+
+	// ForcedN overrides the stabilization cycle count when positive
+	// (the N-sweep ablation).
+	ForcedN int
+
+	// DisableAvoidance turns off every avoidance mechanism while keeping
+	// interrupted writes: the unsafe validation mode, in which the sram
+	// substrate must report violations.
+	DisableAvoidance bool
+
+	// FaultySigma is the reduced margin of the Faulty-Bits design.
+	FaultySigma float64
+
+	// CombineFaultyBits, with ModeIRAW, additionally re-margins the
+	// interrupted write path to FaultySigma and installs fault maps — the
+	// Section 4.4 combination for even higher frequency.
+	CombineFaultyBits bool
+
+	// Seed drives fault-map generation and any other stochastic state.
+	Seed uint64
+
+	// MaxCycles guards against pipeline deadlock (0 = automatic bound).
+	MaxCycles int64
+}
+
+// DefaultConfig returns the modelled core at the given operating point.
+func DefaultConfig(v circuit.Millivolts, mode circuit.Mode) Config {
+	return Config{
+		Vcc:               v,
+		Mode:              mode,
+		Width:             2,
+		Scoreboard:        scoreboard.DefaultConfig(),
+		IQ:                iq.DefaultConfig(),
+		Hierarchy:         cache.DefaultHierarchyConfig(),
+		Predictor:         predictor.DefaultConfig(),
+		MemLatencyTime:    240, // ~120 cycles at the 700 mV logic clock
+		MispredictPenalty: 11,
+		FrontDepth:        3,
+		FaultySigma:       4,
+		Seed:              1,
+	}
+}
+
+func (c Config) validate() error {
+	if !c.Vcc.Valid() {
+		return fmt.Errorf("core: invalid Vcc %v", c.Vcc)
+	}
+	if c.Width < 1 || c.Width > c.IQ.ICI {
+		return fmt.Errorf("core: width %d must be in [1, ICI=%d]", c.Width, c.IQ.ICI)
+	}
+	if c.MemLatencyTime <= 0 {
+		return fmt.Errorf("core: MemLatencyTime must be positive")
+	}
+	if c.MispredictPenalty < 1 || c.FrontDepth < 1 {
+		return fmt.Errorf("core: penalties must be positive")
+	}
+	return nil
+}

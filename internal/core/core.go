@@ -1,0 +1,694 @@
+package core
+
+import (
+	"fmt"
+
+	"lowvcc/internal/cache"
+	"lowvcc/internal/circuit"
+	"lowvcc/internal/iq"
+	"lowvcc/internal/isa"
+	"lowvcc/internal/predictor"
+	"lowvcc/internal/regfile"
+	"lowvcc/internal/rng"
+	"lowvcc/internal/scoreboard"
+	"lowvcc/internal/stats"
+	"lowvcc/internal/trace"
+)
+
+// Core is one simulated operating point of the modelled processor.
+// Not goroutine-safe; create one Core per concurrent simulation.
+type Core struct {
+	cfg   Config
+	model *circuit.Model
+	plan  circuit.ClockPlan
+
+	sb  *scoreboard.Scoreboard
+	q   *iq.Queue
+	rf  *regfile.File
+	bp  *predictor.Predictor
+	mem *cache.Hierarchy
+
+	// Per-register shadow timing, mirroring what the bypass network knows:
+	// when each register's in-flight value lands in the RF and until when
+	// the bypass network can supply it.
+	regWriteAt    [isa.NumRegs]int64
+	regBypassVal  [isa.NumRegs]uint64
+	regBypassTill [isa.NumRegs]int64
+
+	// Extra-Bypass write-port FIFO state.
+	portBusyUntil int64
+
+	// now is the core's clock. It never resets: every absolute stamp in
+	// the hierarchy (fill completions, stabilization windows, buffer
+	// occupancy) lives on this timeline, so back-to-back runs on one core
+	// (warm-up passes, DVFS phases) stay consistent.
+	now int64
+
+	// wakes carries deferred events (long-latency completions, pending RF
+	// writes) across cycles and across runs.
+	wakes []wake
+
+	seq uint64 // value generator: each producer writes its sequence number
+}
+
+// New builds a core for cfg.
+func New(cfg Config) (*Core, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	params := circuit.DefaultParams()
+	if cfg.Circuit != nil {
+		params = *cfg.Circuit
+	}
+	c := &Core{cfg: cfg, model: circuit.NewModel(params)}
+
+	c.sb = scoreboard.New(cfg.Scoreboard)
+	c.q = iq.New(cfg.IQ)
+	c.rf = regfile.New()
+	c.bp = predictor.New(cfg.Predictor)
+	mem, err := cache.NewHierarchy(cfg.Hierarchy)
+	if err != nil {
+		return nil, err
+	}
+	c.mem = mem
+
+	if err := c.applyPlan(cfg.Vcc); err != nil {
+		return nil, err
+	}
+	if cfg.Mode == circuit.ModeFaultyBits ||
+		(cfg.Mode == circuit.ModeIRAW && cfg.CombineFaultyBits) {
+		c.installFaultMaps()
+	}
+	return c, nil
+}
+
+// MustNew is New for static configurations.
+func MustNew(cfg Config) *Core {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Plan returns the active clock plan.
+func (c *Core) Plan() circuit.ClockPlan { return c.plan }
+
+// applyPlan derives the clock plan for v and reconfigures every block —
+// exactly the Vcc controller's job in Sections 4.1.3, 4.2, 4.3 and 4.4.
+func (c *Core) applyPlan(v circuit.Millivolts) error {
+	switch c.cfg.Mode {
+	case circuit.ModeIRAW:
+		switch {
+		case c.cfg.CombineFaultyBits:
+			c.plan = c.model.PlanIRAWFaultyBits(v, c.cfg.FaultySigma)
+		case c.cfg.ForcedN > 0:
+			c.plan = c.model.PlanIRAWForcedN(v, c.cfg.ForcedN)
+		default:
+			c.plan = c.model.PlanIRAW(v)
+		}
+	case circuit.ModeFaultyBits:
+		c.plan = c.model.PlanFaultyBits(v, c.cfg.FaultySigma)
+	default:
+		c.plan = c.model.Plan(v, c.cfg.Mode)
+	}
+
+	interrupted := c.plan.IRAWActive
+	n := c.plan.StabilizeCycles
+	avoid := interrupted && !c.cfg.DisableAvoidance
+
+	effN := 0
+	if avoid {
+		effN = n
+	}
+	c.sb.SetStabilizeCycles(effN)
+	c.q.SetStabilizeCycles(effN)
+	c.rf.SetIRAW(interrupted, n)
+	if interrupted {
+		c.bp.SetStabilizeCycles(n)
+	} else {
+		c.bp.SetStabilizeCycles(0)
+	}
+	memCycles := c.plan.CyclesForTime(c.cfg.MemLatencyTime)
+	if memCycles < 1 {
+		memCycles = 1
+	}
+	c.mem.SetMode(cache.TimingMode{
+		Interrupted: interrupted,
+		N:           n,
+		Avoid:       avoid,
+		MemCycles:   memCycles,
+	})
+	c.rf.SetWritePipeline(c.plan.WritePipelineCycles)
+	return nil
+}
+
+// Reconfigure moves the core to a new Vcc level at run boundaries (the
+// DVFS transition: only shift-register init values, the IQ threshold, the
+// STable size and the stall counters change).
+func (c *Core) Reconfigure(v circuit.Millivolts) error {
+	if !v.Valid() {
+		return fmt.Errorf("core: invalid Vcc %v", v)
+	}
+	c.cfg.Vcc = v
+	return c.applyPlan(v)
+}
+
+// installFaultMaps disables cache lines that fail timing at the reduced
+// margin (Faulty Bits). The RF and IQ cannot tolerate faulty entries
+// (Section 2.2, Table 1) — the design is idealized there, which the
+// comparison harness reports.
+func (c *Core) installFaultMaps() {
+	src := rng.New(c.cfg.Seed ^ 0xFAB17B175)
+	sigma := c.cfg.FaultySigma
+	for _, ca := range []*cache.Cache{c.mem.IL0, c.mem.DL0, c.mem.UL1, c.mem.ITLB, c.mem.DTLB} {
+		bits := ca.Config().LineBytes * 8
+		if ca.Config().LineBytes > 512 {
+			bits = 64 // TLBs: entry payload, not the page itself
+		}
+		p := circuit.LineFailProb(sigma, bits)
+		ca.DisableFaultyLines(src.Fork(), p)
+	}
+}
+
+// wakeKind distinguishes deferred events.
+type wakeKind int
+
+const (
+	wakeLong    wakeKind = iota // long-latency completion heads-up
+	wakeRFWrite                 // physical register-file write
+)
+
+type wake struct {
+	at    int64
+	kind  wakeKind
+	reg   isa.Reg
+	avail int64 // cycle the value becomes available (wakeLong)
+	val   uint64
+}
+
+// Run simulates tr to completion and reports the result. The core's caches
+// stay warm across calls (deliberately, for the DVFS scenario); use a fresh
+// Core for independent measurements.
+func (c *Core) Run(tr *trace.Trace) (*Result, error) {
+	insts := tr.Insts
+	total := len(insts)
+	if total == 0 {
+		return nil, fmt.Errorf("core: empty trace %q", tr.Name)
+	}
+
+	// Pre-run stat snapshots so a Result reports this trace only.
+	rfBase := c.rf.Stats()
+	memBase := c.mem.Stats()
+	il0Base, dl0Base, ul1Base := c.mem.IL0.Stats(), c.mem.DL0.Stats(), c.mem.UL1.Stats()
+	itlbBase, dtlbBase := c.mem.ITLB.Stats(), c.mem.DTLB.Stats()
+	bpBase := c.bp.Stats()
+	rfvBase := c.rf.Array().Stats().ViolationReads
+	cvBase := c.mem.ViolationReads()
+	noopBase := c.q.NOOPsInjected
+
+	var run stats.Run
+	delayed := make([]bool, total)
+	mispred := make([]bool, total)
+
+	type fbEntry struct {
+		idx     int
+		readyAt int64
+	}
+	var fetchBuf []fbEntry
+	const fetchBufCap = 16
+
+	fetchIdx := 0
+	fetchStallUntil := int64(0)
+	awaitRedirect := -1
+	lastFetchLine := ^uint64(0)
+	draining := false
+
+	startCycle := c.now
+	cycle := c.now
+	issuedTotal := 0
+
+	maxCycles := c.cfg.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = 10000 + int64(total)*400
+	}
+	maxCycles += startCycle
+
+	bypass := int64(c.cfg.Scoreboard.BypassLevels)
+	writePipe := int64(c.plan.WritePipelineCycles)
+
+	for issuedTotal < total {
+		cycle++
+		if cycle > maxCycles {
+			return nil, fmt.Errorf("core: deadlock watchdog at cycle %d (%d/%d issued, occupancy %d)",
+				cycle, issuedTotal, total, c.q.Occupancy())
+		}
+
+		c.sb.Shift()
+
+		// Deferred events due this cycle.
+		for i := 0; i < len(c.wakes); {
+			w := c.wakes[i]
+			if w.at != cycle {
+				i++
+				continue
+			}
+			switch w.kind {
+			case wakeLong:
+				remaining := int(w.avail - cycle)
+				if remaining < 1 {
+					remaining = 1
+				}
+				c.sb.CompleteLongLatency(w.reg, remaining)
+				c.regWriteAt[w.reg] = w.avail + bypass
+				// The bypass network serves consumers issuing strictly
+				// before the RF write lands (through w-1 for single-cycle
+				// writes; Extra-Bypass extends it across the pipelined
+				// write).
+				c.regBypassTill[w.reg] = w.avail + bypass + writePipe - 2
+				c.regBypassVal[w.reg] = w.val
+				c.wakes = append(c.wakes, wake{at: w.avail + bypass, kind: wakeRFWrite, reg: w.reg, val: w.val})
+			case wakeRFWrite:
+				c.rf.Write(w.at, w.reg, w.val)
+			}
+			c.wakes[i] = c.wakes[len(c.wakes)-1]
+			c.wakes = c.wakes[:len(c.wakes)-1]
+		}
+
+		// ===== Issue stage (reads IQ entries before this cycle's allocs).
+		issued := 0
+		memIssued := false
+		stall := stats.StallNone
+		for issued < c.cfg.Width {
+			if c.q.Occupancy() == 0 {
+				if issued == 0 && issuedTotal < total {
+					stall = stats.StallFetchEmpty
+				}
+				break
+			}
+			if !c.q.MayIssue() {
+				if issued == 0 && c.q.GateBlocked() {
+					stall = stats.StallIQGate
+					c.q.NoteGateStall()
+				}
+				break
+			}
+			e := c.q.Oldest(0)
+			if e.NOOP {
+				c.q.PopOldest()
+				run.IssuedNOOPs++
+				issued++
+				continue
+			}
+			idx := int(e.Payload)
+			reason, ok := c.tryIssue(cycle, idx, &insts[idx], &memIssued, mispred, delayed, &run, &c.wakes, &fetchStallUntil, &awaitRedirect)
+			if !ok {
+				if issued == 0 {
+					stall = reason
+				}
+				break
+			}
+			c.q.PopOldest()
+			issued++
+			issuedTotal++
+			if insts[idx].Op == isa.OpFence {
+				draining = false
+			}
+		}
+		if issued > 2 {
+			issued = 2
+		}
+		run.IssueHist[issued]++
+		if issued == 0 && stall != stats.StallNone {
+			run.IssueStalls[stall]++
+		}
+
+		// ===== Allocate stage (up to AI per cycle, after issue).
+		allocs := 0
+		if !draining {
+			for allocs < c.cfg.IQ.AI && len(fetchBuf) > 0 && c.q.Free() > 0 {
+				fe := fetchBuf[0]
+				if fe.readyAt > cycle {
+					break
+				}
+				c.q.Alloc(cycle, uint64(fe.idx))
+				fetchBuf = fetchBuf[1:]
+				allocs++
+				if insts[fe.idx].Op == isa.OpFence {
+					draining = true
+					break
+				}
+			}
+		}
+		// Drain NOOP injection: the occupancy gate blocks while allocation
+		// has nothing to deliver (fence drain, trace end, mispredict
+		// redirect, or an instruction-fetch drought). In hardware the
+		// front-end would keep allocating (wrong-path) instructions; the
+		// NOOPs stand in for them so the gate cannot starve stable
+		// instructions indefinitely.
+		if allocs == 0 && c.q.GateBlocked() {
+			c.q.InjectNOOPs(cycle)
+		}
+
+		// ===== Fetch stage.
+		fetched := 0
+		if fetchIdx < total && awaitRedirect < 0 && cycle >= fetchStallUntil {
+			for f := 0; f < c.cfg.Width && fetchIdx < total && len(fetchBuf) < fetchBufCap; f++ {
+				in := &insts[fetchIdx]
+				line := in.PC &^ 63
+				if line != lastFetchLine {
+					fr := c.mem.FetchInst(cycle, in.PC)
+					lastFetchLine = line
+					if fr.ReadyCycle > cycle {
+						// Miss or port hold: the group arrives later, data
+						// via the fill buffer (no array re-read).
+						fetchStallUntil = fr.ReadyCycle
+						break
+					}
+				}
+				stop := c.predictAtFetch(cycle, fetchIdx, in, mispred, &fetchStallUntil, &awaitRedirect)
+				fetchBuf = append(fetchBuf, fbEntry{fetchIdx, cycle + int64(c.cfg.FrontDepth)})
+				fetchIdx++
+				fetched++
+				if stop {
+					break
+				}
+			}
+		}
+		if fetched > 2 {
+			fetched = 2
+		}
+		run.FetchHist[fetched]++
+	}
+
+	c.now = cycle
+	run.Cycles = uint64(cycle - startCycle)
+	run.Instructions = uint64(total)
+	return c.buildResult(tr.Name, &run, rfBase, memBase, il0Base, dl0Base, ul1Base,
+		itlbBase, dtlbBase, bpBase, rfvBase, cvBase, noopBase), nil
+}
+
+// predictAtFetch consults BP/RSB for control ops, returning whether fetch
+// must stop after this instruction (a predicted-wrong path we do not model:
+// the trace holds only correct-path instructions, so a misprediction is a
+// fetch bubble until the branch resolves at issue).
+func (c *Core) predictAtFetch(cycle int64, idx int, in *trace.Inst, mispred []bool, fetchStallUntil *int64, awaitRedirect *int) bool {
+	switch in.Op {
+	case isa.OpBranch:
+		pred := c.bp.PredictBranch(cycle, in.PC)
+		if pred != in.Taken {
+			mispred[idx] = true
+			*awaitRedirect = idx
+			return true
+		}
+		// Correctly predicted taken branches end the fetch group (target
+		// fetch continues next cycle).
+		return in.Taken
+	case isa.OpCall:
+		c.bp.PushCall(cycle, in.PC+4)
+		return true
+	case isa.OpReturn:
+		tgt, stallCycles, conflict := c.bp.PredictReturn(cycle)
+		if stallCycles > 0 {
+			*fetchStallUntil = cycle + int64(stallCycles)
+		}
+		if conflict || tgt != in.Addr {
+			c.bp.NoteReturnMispredict()
+			mispred[idx] = true
+			*awaitRedirect = idx
+			return true
+		}
+		return true
+	}
+	return false
+}
+
+// tryIssue attempts to issue one instruction at cycle; on failure it
+// returns the stall attribution.
+func (c *Core) tryIssue(cycle int64, idx int, in *trace.Inst, memIssued *bool,
+	mispred, delayed []bool, run *stats.Run, wakes *[]wake,
+	fetchStallUntil *int64, awaitRedirect *int) (stats.StallKind, bool) {
+
+	// Source readiness (the scoreboard's shift registers).
+	for _, src := range [2]isa.Reg{in.Src1, in.Src2} {
+		if src == isa.RegNone {
+			continue
+		}
+		if c.sb.ReadReady(src) {
+			continue
+		}
+		if c.sb.IRAWBlocked(src) {
+			if !delayed[idx] {
+				delayed[idx] = true
+				run.DelayedByRFIRAW++
+			}
+			return stats.StallRFIRAW, false
+		}
+		if c.sb.LongPending(src) {
+			return stats.StallMemory, false
+		}
+		return stats.StallRAW, false
+	}
+	// Destination (WAW through the baseline view).
+	if in.Dst != isa.RegNone && !c.sb.WriteReady(in.Dst) {
+		if c.sb.LongPending(in.Dst) {
+			return stats.StallMemory, false
+		}
+		return stats.StallRAW, false
+	}
+	// Structural: one memory op per cycle; D-side port holds block issue.
+	if isa.IsMem(in.Op) {
+		if *memIssued {
+			return stats.StallStructural, false
+		}
+		if c.mem.DL0.Busy(cycle) {
+			return stats.StallDL0IRAW, false
+		}
+		if c.mem.DTLB.Busy(cycle) {
+			return stats.StallOtherIRAW, false
+		}
+	}
+	// Extra-Bypass write-port FIFO.
+	lat := int64(isa.Latency(in.Op))
+	bypass := int64(c.cfg.Scoreboard.BypassLevels)
+	writePipe := int64(c.plan.WritePipelineCycles)
+	if in.Dst != isa.RegNone && writePipe > 1 {
+		w := cycle + lat + bypass
+		if w <= c.portBusyUntil {
+			c.rf.NotePortContention(c.portBusyUntil + 1 - w)
+			return stats.StallStructural, false
+		}
+	}
+
+	// ---- Commit to issuing: perform reads and effects.
+	c.readSources(cycle, in)
+
+	if isa.IsMem(in.Op) {
+		*memIssued = true
+	}
+
+	switch {
+	case in.Op == isa.OpLoad:
+		res := c.mem.Load(cycle, in.Addr)
+		avail := res.ReadyCycle + lat
+		c.produce(cycle, in.Dst, avail, wakes)
+	case in.Op == isa.OpStore:
+		c.seq++
+		c.mem.CommitStore(cycle, in.Addr, c.seq)
+	case isa.LongLatency(in.Op):
+		avail := cycle + lat
+		c.produceLong(cycle, in.Dst, avail, wakes)
+	case in.Op == isa.OpBranch:
+		c.bp.UpdateBranch(cycle, in.PC, in.Taken, mispred[idx])
+		if mispred[idx] {
+			*fetchStallUntil = cycle + int64(c.cfg.MispredictPenalty)
+			*awaitRedirect = -1
+		}
+	case in.Op == isa.OpCall, in.Op == isa.OpReturn:
+		if mispred[idx] {
+			*fetchStallUntil = cycle + int64(c.cfg.MispredictPenalty)
+			*awaitRedirect = -1
+		}
+	case in.Dst != isa.RegNone:
+		c.produce(cycle, in.Dst, cycle+lat, wakes)
+	}
+	return stats.StallNone, true
+}
+
+// produce registers a producer whose value is available at `avail`,
+// choosing the short (shift-register) or long-latency path.
+func (c *Core) produce(cycle int64, dst isa.Reg, avail int64, wakes *[]wake) {
+	if dst == isa.RegNone {
+		return
+	}
+	c.seq++
+	val := c.seq
+	lat := int(avail - cycle)
+	bypass := int64(c.cfg.Scoreboard.BypassLevels)
+	writePipe := int64(c.plan.WritePipelineCycles)
+	w := avail + bypass
+	if lat <= c.sb.MaxShortLatency() {
+		c.sb.IssueProducer(dst, lat)
+		c.regWriteAt[dst] = w
+		c.regBypassTill[dst] = w + writePipe - 2
+		c.regBypassVal[dst] = val
+		*wakes = append(*wakes, wake{at: w, kind: wakeRFWrite, reg: dst, val: val})
+	} else {
+		c.sb.BeginLongLatency(dst)
+		c.regWriteAt[dst] = int64(1) << 60 // unknown until the heads-up
+		headsUp := avail - int64(c.sb.MaxShortLatency())
+		if headsUp <= cycle {
+			headsUp = cycle + 1
+		}
+		*wakes = append(*wakes, wake{at: headsUp, kind: wakeLong, reg: dst, avail: avail, val: val})
+	}
+	if writePipe > 1 {
+		c.portBusyUntil = w + writePipe - 1
+	}
+}
+
+// produceLong is produce for always-long ops (dividers).
+func (c *Core) produceLong(cycle int64, dst isa.Reg, avail int64, wakes *[]wake) {
+	c.produce(cycle, dst, avail, wakes)
+}
+
+// readSources models the register reads of an issuing instruction: through
+// the bypass network while the value is in flight, from the RF array (next
+// cycle, per the pipeline contract) afterwards.
+func (c *Core) readSources(cycle int64, in *trace.Inst) {
+	for _, src := range [2]isa.Reg{in.Src1, in.Src2} {
+		if src == isa.RegNone {
+			continue
+		}
+		if c.regWriteAt[src] > cycle || cycle <= c.regBypassTill[src] {
+			_ = c.regBypassVal[src] // value carried by the bypass network
+			continue
+		}
+		c.rf.Read(cycle+1, src)
+	}
+}
+
+func (c *Core) buildResult(name string, run *stats.Run,
+	rfBase regfile.Stats, memBase cache.HierarchyStats,
+	il0Base, dl0Base, ul1Base, itlbBase, dtlbBase cache.Stats,
+	bpBase predictor.Stats, rfvBase, cvBase, noopBase uint64) *Result {
+
+	rfS := subRF(c.rf.Stats(), rfBase)
+	memS := subMem(c.mem.Stats(), memBase)
+	il0 := subCache(c.mem.IL0.Stats(), il0Base)
+	dl0 := subCache(c.mem.DL0.Stats(), dl0Base)
+	ul1 := subCache(c.mem.UL1.Stats(), ul1Base)
+	itlb := subCache(c.mem.ITLB.Stats(), itlbBase)
+	dtlb := subCache(c.mem.DTLB.Stats(), dtlbBase)
+	bpS := subBP(c.bp.Stats(), bpBase)
+
+	res := &Result{
+		TraceName: name,
+		Plan:      c.plan,
+		Run:       *run,
+		Time:      float64(run.Cycles) * c.plan.CycleTime,
+
+		RFViolations:         c.rf.Array().Stats().ViolationReads - rfvBase,
+		CacheViolations:      c.mem.ViolationReads() - cvBase,
+		CorruptConsumed:      memS.CorruptConsumed,
+		IntegrityErrors:      rfS.IntegrityErrors + memS.IntegrityErrors,
+		RepairedDestructions: memS.RepairedDestructions,
+
+		BP:   bpS,
+		Mem:  memS,
+		IL0:  il0,
+		DL0:  dl0,
+		UL1:  ul1,
+		ITLB: itlb,
+		DTLB: dtlb,
+
+		NOOPsInjected: c.q.NOOPsInjected - noopBase,
+	}
+	res.CorruptConsumed += res.RFViolations // RF violations are consumed reads
+
+	res.Activity.Instructions = run.Instructions
+	res.Activity.IL0Accesses = il0.Accesses
+	res.Activity.DL0Accesses = dl0.Accesses
+	res.Activity.UL1Accesses = ul1.Accesses
+	res.Activity.TLBAccesses = itlb.Accesses + dtlb.Accesses
+	res.Activity.RFReads = rfS.Reads + rfS.BypassReads
+	res.Activity.RFWrites = rfS.Writes
+	res.Activity.IQOps = 2 * run.Instructions // alloc + issue per instruction
+	res.Activity.BPAccesses = bpS.Predictions + bpS.ReturnPredictions
+	res.Activity.ExecOps = run.Instructions
+	res.Activity.MemAccesses = ul1.Misses
+	return res
+}
+
+func subRF(a, b regfile.Stats) regfile.Stats {
+	a.Reads -= b.Reads
+	a.Writes -= b.Writes
+	a.BypassReads -= b.BypassReads
+	a.ViolationReads -= b.ViolationReads
+	a.IntegrityErrors -= b.IntegrityErrors
+	a.PortContentionCycles -= b.PortContentionCycles
+	return a
+}
+
+func subMem(a, b cache.HierarchyStats) cache.HierarchyStats {
+	a.Loads -= b.Loads
+	a.Stores -= b.Stores
+	a.Fetches -= b.Fetches
+	a.TLBWalks -= b.TLBWalks
+	a.STableForwards -= b.STableForwards
+	a.RepairedDestructions -= b.RepairedDestructions
+	a.CorruptConsumed -= b.CorruptConsumed
+	a.IntegrityErrors -= b.IntegrityErrors
+	a.DL0ReplayStallCycles -= b.DL0ReplayStallCycles
+	return a
+}
+
+func subCache(a, b cache.Stats) cache.Stats {
+	a.Accesses -= b.Accesses
+	a.Hits -= b.Hits
+	a.Misses -= b.Misses
+	a.Fills -= b.Fills
+	a.Evictions -= b.Evictions
+	a.DirtyEvicts -= b.DirtyEvicts
+	a.FillStallCycles -= b.FillStallCycles
+	return a
+}
+
+func subBP(a, b predictor.Stats) predictor.Stats {
+	a.Predictions -= b.Predictions
+	a.Mispredicts -= b.Mispredicts
+	a.PotentialCorruptions -= b.PotentialCorruptions
+	a.ReturnPredictions -= b.ReturnPredictions
+	a.ReturnMispredicts -= b.ReturnMispredicts
+	a.RSBConflicts -= b.RSBConflicts
+	a.RSBStallCycles -= b.RSBStallCycles
+	return a
+}
+
+// IRAWExtraBits returns the latch bits the IRAW machinery adds: the
+// scoreboard extension (bypass+bubble bits per register), the STable, the
+// IQ occupancy comparator, and one 2-bit stall counter per cache-like
+// block (Section 4.3).
+func (c *Core) IRAWExtraBits() int {
+	sbBits := c.cfg.Scoreboard.Regs * c.sb.ExtraBits
+	stBits := c.mem.STab.Bits()
+	iqBits := 12 // threshold adder + comparator state (Figure 9)
+	counterBits := 7 * 2
+	return sbBits + stBits + iqBits + counterBits
+}
+
+// TotalSRAMBits returns the core's SRAM capacity for area accounting.
+func (c *Core) TotalSRAMBits() int {
+	iqBits := c.cfg.IQ.Size * 64 // queue payload per entry
+	return c.mem.TotalBits() + c.rf.TotalBits() + iqBits +
+		c.bp.CounterBits() + c.bp.RSBBits()
+}
+
+// Mem exposes the memory hierarchy (examples and tests).
+func (c *Core) Mem() *cache.Hierarchy { return c.mem }
+
+// BP exposes the predictor (examples and tests).
+func (c *Core) BP() *predictor.Predictor { return c.bp }
+
+// RF exposes the register file (examples and tests).
+func (c *Core) RF() *regfile.File { return c.rf }

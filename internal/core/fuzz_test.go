@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+
+	"lowvcc/internal/circuit"
+	"lowvcc/internal/rng"
+	"lowvcc/internal/workload"
+)
+
+// TestRandomizedConfigsNeverDeadlockOrCorrupt drives the pipeline through
+// randomized (profile, voltage, mode, N) points: every run must terminate
+// (no watchdog) and, whenever avoidance is active, consume zero corrupt
+// values. This is the repo's crash/deadlock fuzz harness in miniature.
+func TestRandomizedConfigsNeverDeadlockOrCorrupt(t *testing.T) {
+	src := rng.New(0xF00D)
+	profiles := append(workload.Profiles(), workload.MemBound())
+	levels := circuit.Levels()
+	modes := []circuit.Mode{circuit.ModeBaseline, circuit.ModeIRAW,
+		circuit.ModeFaultyBits, circuit.ModeExtraBypass}
+	iters := 40
+	if testing.Short() {
+		iters = 10
+	}
+	for i := 0; i < iters; i++ {
+		p := profiles[src.Intn(len(profiles))]
+		v := levels[src.Intn(len(levels))]
+		mode := modes[src.Intn(len(modes))]
+		n := 1 + src.Intn(3)
+		insts := 2000 + src.Intn(4000)
+
+		cfg := DefaultConfig(v, mode)
+		if mode == circuit.ModeIRAW {
+			switch src.Intn(3) {
+			case 0:
+				cfg.ForcedN = n
+			case 1:
+				cfg.CombineFaultyBits = true
+			}
+		}
+		tr := workload.Generate(p, insts, uint64(i)+99)
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatalf("iter %d (%s %v %v): %v", i, p.Name, v, mode, err)
+		}
+		res, err := c.Run(tr)
+		if err != nil {
+			t.Fatalf("iter %d (%s %v %v N=%d): %v", i, p.Name, v, mode, cfg.ForcedN, err)
+		}
+		if res.Run.Instructions != uint64(insts) {
+			t.Fatalf("iter %d: retired %d of %d", i, res.Run.Instructions, insts)
+		}
+		if res.CorruptConsumed != 0 || res.IntegrityErrors != 0 {
+			t.Fatalf("iter %d (%s %v %v): corrupt=%d integ=%d",
+				i, p.Name, v, mode, res.CorruptConsumed, res.IntegrityErrors)
+		}
+		// A second run on the same warm core must also stay clean.
+		res2, err := c.Run(tr)
+		if err != nil {
+			t.Fatalf("iter %d warm rerun: %v", i, err)
+		}
+		if res2.CorruptConsumed != 0 || res2.IntegrityErrors != 0 {
+			t.Fatalf("iter %d warm rerun: corrupt=%d integ=%d",
+				i, res2.CorruptConsumed, res2.IntegrityErrors)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"lowvcc/internal/cache"
+	"lowvcc/internal/circuit"
+	"lowvcc/internal/energy"
+	"lowvcc/internal/predictor"
+	"lowvcc/internal/stats"
+)
+
+// Result reports one trace's simulation.
+type Result struct {
+	TraceName string
+	Plan      circuit.ClockPlan
+
+	Run stats.Run
+
+	// Time is Cycles x CycleTime in the global time unit (one clock phase
+	// at 700 mV = 1.0).
+	Time float64
+
+	// Violation accounting (ground truth from the sram substrate).
+	RFViolations         uint64
+	CacheViolations      uint64
+	CorruptConsumed      uint64
+	IntegrityErrors      uint64
+	RepairedDestructions uint64
+
+	// Predictor statistics (potential corruptions, RSB conflicts).
+	BP predictor.Stats
+
+	// Memory-system statistics.
+	Mem        cache.HierarchyStats
+	IL0, DL0   cache.Stats
+	UL1        cache.Stats
+	ITLB, DTLB cache.Stats
+	// STableForwards duplicates Mem.STableForwards for convenience.
+
+	// Activity is the census for the energy model.
+	Activity energy.Activity
+
+	// NOOPsInjected counts drain NOOPs added to the IQ.
+	NOOPsInjected uint64
+}
+
+// IPC returns retired program instructions per cycle.
+func (r *Result) IPC() float64 { return r.Run.IPC() }
+
+// MergeResults aggregates per-trace results into suite totals (cycles and
+// instructions add; Time adds; rates derive from the sums).
+func MergeResults(results []*Result) *Result {
+	if len(results) == 0 {
+		return &Result{}
+	}
+	agg := &Result{TraceName: "suite", Plan: results[0].Plan}
+	for _, r := range results {
+		agg.Run.Add(&r.Run)
+		agg.Time += r.Time
+		agg.RFViolations += r.RFViolations
+		agg.CacheViolations += r.CacheViolations
+		agg.CorruptConsumed += r.CorruptConsumed
+		agg.IntegrityErrors += r.IntegrityErrors
+		agg.RepairedDestructions += r.RepairedDestructions
+		agg.NOOPsInjected += r.NOOPsInjected
+
+		agg.BP.Predictions += r.BP.Predictions
+		agg.BP.Mispredicts += r.BP.Mispredicts
+		agg.BP.PotentialCorruptions += r.BP.PotentialCorruptions
+		agg.BP.ReturnPredictions += r.BP.ReturnPredictions
+		agg.BP.ReturnMispredicts += r.BP.ReturnMispredicts
+		agg.BP.RSBConflicts += r.BP.RSBConflicts
+		agg.BP.RSBStallCycles += r.BP.RSBStallCycles
+
+		agg.Mem.Loads += r.Mem.Loads
+		agg.Mem.Stores += r.Mem.Stores
+		agg.Mem.Fetches += r.Mem.Fetches
+		agg.Mem.TLBWalks += r.Mem.TLBWalks
+		agg.Mem.STableForwards += r.Mem.STableForwards
+		agg.Mem.RepairedDestructions += r.Mem.RepairedDestructions
+		agg.Mem.CorruptConsumed += r.Mem.CorruptConsumed
+		agg.Mem.IntegrityErrors += r.Mem.IntegrityErrors
+		agg.Mem.DL0ReplayStallCycles += r.Mem.DL0ReplayStallCycles
+
+		addCache(&agg.IL0, &r.IL0)
+		addCache(&agg.DL0, &r.DL0)
+		addCache(&agg.UL1, &r.UL1)
+		addCache(&agg.ITLB, &r.ITLB)
+		addCache(&agg.DTLB, &r.DTLB)
+
+		addActivity(&agg.Activity, &r.Activity)
+	}
+	return agg
+}
+
+func addCache(dst, src *cache.Stats) {
+	dst.Accesses += src.Accesses
+	dst.Hits += src.Hits
+	dst.Misses += src.Misses
+	dst.Fills += src.Fills
+	dst.Evictions += src.Evictions
+	dst.DirtyEvicts += src.DirtyEvicts
+	dst.FillStallCycles += src.FillStallCycles
+	dst.DisabledLines += src.DisabledLines
+}
+
+func addActivity(dst, src *energy.Activity) {
+	dst.Instructions += src.Instructions
+	dst.IL0Accesses += src.IL0Accesses
+	dst.DL0Accesses += src.DL0Accesses
+	dst.UL1Accesses += src.UL1Accesses
+	dst.TLBAccesses += src.TLBAccesses
+	dst.RFReads += src.RFReads
+	dst.RFWrites += src.RFWrites
+	dst.IQOps += src.IQOps
+	dst.BPAccesses += src.BPAccesses
+	dst.ExecOps += src.ExecOps
+	dst.MemAccesses += src.MemAccesses
+}

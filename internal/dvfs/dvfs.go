@@ -1,0 +1,214 @@
+// Package dvfs implements the voltage/frequency governance layer the paper
+// motivates (Section 1: mobile processors "make an aggressive use of DVFS
+// techniques to adapt their Vcc and frequency to the current workload and
+// battery state"). IRAW avoidance is what makes the low-Vcc levels usable;
+// this package decides which level to run.
+//
+// Two pieces:
+//
+//   - Planner: offline selection over measured operating points (pick the
+//     minimum-EDP level, the fastest level within an energy budget, or the
+//     most frugal level within a deadline);
+//   - Governor: a reactive controller that walks the voltage ladder from
+//     utilization feedback with hysteresis, the classic interactive-device
+//     policy.
+package dvfs
+
+import (
+	"fmt"
+	"sort"
+
+	"lowvcc/internal/circuit"
+)
+
+// PointMetrics is one measured operating point: the suite's execution time
+// and energy at a voltage level (from the sim package's sweeps or the
+// user's own runs).
+type PointMetrics struct {
+	Vcc    circuit.Millivolts
+	Mode   circuit.Mode
+	Time   float64 // execution time for the reference work, any unit
+	Energy float64 // energy for the reference work, same unit base
+}
+
+// EDP returns the point's energy-delay product.
+func (p PointMetrics) EDP() float64 { return p.Time * p.Energy }
+
+// Objective selects what the planner optimizes.
+type Objective int
+
+const (
+	// MinEDP picks the lowest energy-delay product (the paper's headline
+	// metric, Figure 12).
+	MinEDP Objective = iota
+	// MinEnergyUnderDeadline picks the most frugal point whose time meets
+	// the deadline.
+	MinEnergyUnderDeadline
+	// MinTimeUnderBudget picks the fastest point whose energy fits the
+	// budget.
+	MinTimeUnderBudget
+)
+
+// String implements fmt.Stringer.
+func (o Objective) String() string {
+	switch o {
+	case MinEDP:
+		return "min-edp"
+	case MinEnergyUnderDeadline:
+		return "min-energy-under-deadline"
+	case MinTimeUnderBudget:
+		return "min-time-under-budget"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+// Planner selects operating points from a measured table.
+type Planner struct {
+	points []PointMetrics
+}
+
+// NewPlanner returns a planner over the given measurements. It rejects an
+// empty table and sorts points by descending voltage for stable iteration.
+func NewPlanner(points []PointMetrics) (*Planner, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("dvfs: no operating points")
+	}
+	ps := make([]PointMetrics, len(points))
+	copy(ps, points)
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Vcc > ps[j].Vcc })
+	for _, p := range ps {
+		if p.Time <= 0 || p.Energy <= 0 {
+			return nil, fmt.Errorf("dvfs: point %v has non-positive time/energy", p.Vcc)
+		}
+	}
+	return &Planner{points: ps}, nil
+}
+
+// Points returns the planner's table (descending voltage).
+func (pl *Planner) Points() []PointMetrics {
+	out := make([]PointMetrics, len(pl.points))
+	copy(out, pl.points)
+	return out
+}
+
+// Pick returns the best point for the objective. `bound` is the deadline
+// (MinEnergyUnderDeadline) or the energy budget (MinTimeUnderBudget);
+// ignored for MinEDP. ok is false when no point satisfies the bound.
+func (pl *Planner) Pick(obj Objective, bound float64) (PointMetrics, bool) {
+	var best PointMetrics
+	found := false
+	better := func(a, b PointMetrics) bool {
+		switch obj {
+		case MinEDP:
+			return a.EDP() < b.EDP()
+		case MinEnergyUnderDeadline:
+			return a.Energy < b.Energy
+		case MinTimeUnderBudget:
+			return a.Time < b.Time
+		default:
+			panic(fmt.Sprintf("dvfs: unknown objective %v", obj))
+		}
+	}
+	feasible := func(p PointMetrics) bool {
+		switch obj {
+		case MinEnergyUnderDeadline:
+			return p.Time <= bound
+		case MinTimeUnderBudget:
+			return p.Energy <= bound
+		default:
+			return true
+		}
+	}
+	for _, p := range pl.points {
+		if !feasible(p) {
+			continue
+		}
+		if !found || better(p, best) {
+			best = p
+			found = true
+		}
+	}
+	return best, found
+}
+
+// Governor is a reactive ladder controller: it watches utilization (the
+// fraction of cycles doing useful work) and steps the voltage up when the
+// core saturates, down when it idles, with hysteresis so it does not
+// oscillate. Levels are whatever ladder the platform exposes (usually
+// circuit.Levels()).
+type Governor struct {
+	levels []circuit.Millivolts
+	idx    int
+
+	// UpThreshold / DownThreshold bound the comfort band.
+	UpThreshold   float64
+	DownThreshold float64
+	// Patience is how many consecutive out-of-band samples trigger a step.
+	Patience int
+
+	strikesUp, strikesDown int
+	transitions            int
+}
+
+// NewGovernor returns a governor over the ladder, starting at the highest
+// level (index 0 of a descending ladder).
+func NewGovernor(levels []circuit.Millivolts) (*Governor, error) {
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("dvfs: empty ladder")
+	}
+	ls := make([]circuit.Millivolts, len(levels))
+	copy(ls, levels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i] > ls[j] })
+	return &Governor{
+		levels:        ls,
+		UpThreshold:   0.90,
+		DownThreshold: 0.55,
+		Patience:      2,
+	}, nil
+}
+
+// Level returns the current voltage level.
+func (g *Governor) Level() circuit.Millivolts { return g.levels[g.idx] }
+
+// Transitions returns how many level changes the governor has made.
+func (g *Governor) Transitions() int { return g.transitions }
+
+// Observe feeds one utilization sample in [0, 1] and returns the level to
+// use next (possibly unchanged).
+func (g *Governor) Observe(utilization float64) circuit.Millivolts {
+	if utilization < 0 {
+		utilization = 0
+	}
+	if utilization > 1 {
+		utilization = 1
+	}
+	switch {
+	case utilization >= g.UpThreshold:
+		g.strikesUp++
+		g.strikesDown = 0
+	case utilization <= g.DownThreshold:
+		g.strikesDown++
+		g.strikesUp = 0
+	default:
+		g.strikesUp, g.strikesDown = 0, 0
+	}
+	if g.strikesUp >= g.Patience && g.idx > 0 {
+		g.idx--
+		g.transitions++
+		g.strikesUp = 0
+	}
+	if g.strikesDown >= g.Patience && g.idx < len(g.levels)-1 {
+		g.idx++
+		g.transitions++
+		g.strikesDown = 0
+	}
+	return g.levels[g.idx]
+}
+
+// Reset returns the governor to the highest level and clears its state.
+func (g *Governor) Reset() {
+	g.idx = 0
+	g.strikesUp, g.strikesDown = 0, 0
+	g.transitions = 0
+}

@@ -1,0 +1,155 @@
+package dvfs
+
+import (
+	"testing"
+
+	"lowvcc/internal/circuit"
+)
+
+// A synthetic table with the paper's shape: lower voltage = slower but
+// (down to a point) lower energy; IRAW's EDP optimum sits at low Vcc.
+func table() []PointMetrics {
+	return []PointMetrics{
+		{Vcc: 700, Mode: circuit.ModeIRAW, Time: 1.00, Energy: 1.00},
+		{Vcc: 600, Mode: circuit.ModeIRAW, Time: 1.20, Energy: 0.74},
+		{Vcc: 500, Mode: circuit.ModeIRAW, Time: 1.70, Energy: 0.52},
+		{Vcc: 450, Mode: circuit.ModeIRAW, Time: 2.20, Energy: 0.46},
+		{Vcc: 400, Mode: circuit.ModeIRAW, Time: 3.10, Energy: 0.45},
+	}
+}
+
+func TestPlannerMinEDP(t *testing.T) {
+	pl, err := NewPlanner(table())
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, ok := pl.Pick(MinEDP, 0)
+	if !ok {
+		t.Fatal("no point")
+	}
+	if best.Vcc != 500 { // 1.70*0.52 = 0.884 is the minimum of the table
+		t.Fatalf("MinEDP picked %v", best.Vcc)
+	}
+}
+
+func TestPlannerDeadline(t *testing.T) {
+	pl, _ := NewPlanner(table())
+	best, ok := pl.Pick(MinEnergyUnderDeadline, 2.0)
+	if !ok || best.Vcc != 500 {
+		t.Fatalf("deadline pick = %v ok=%v, want 500mV", best.Vcc, ok)
+	}
+	// A deadline no point meets.
+	if _, ok := pl.Pick(MinEnergyUnderDeadline, 0.5); ok {
+		t.Fatal("infeasible deadline satisfied")
+	}
+}
+
+func TestPlannerBudget(t *testing.T) {
+	pl, _ := NewPlanner(table())
+	best, ok := pl.Pick(MinTimeUnderBudget, 0.55)
+	if !ok || best.Vcc != 500 {
+		t.Fatalf("budget pick = %v ok=%v, want 500mV (fastest under 0.55)", best.Vcc, ok)
+	}
+	best, ok = pl.Pick(MinTimeUnderBudget, 10)
+	if !ok || best.Vcc != 700 {
+		t.Fatalf("loose budget pick = %v, want fastest (700mV)", best.Vcc)
+	}
+}
+
+func TestPlannerValidation(t *testing.T) {
+	if _, err := NewPlanner(nil); err == nil {
+		t.Error("empty table accepted")
+	}
+	if _, err := NewPlanner([]PointMetrics{{Vcc: 500, Time: 0, Energy: 1}}); err == nil {
+		t.Error("zero time accepted")
+	}
+}
+
+func TestObjectiveStrings(t *testing.T) {
+	if MinEDP.String() != "min-edp" || Objective(9).String() != "Objective(9)" {
+		t.Fatal("objective strings wrong")
+	}
+}
+
+func TestGovernorLadder(t *testing.T) {
+	g, err := NewGovernor(circuit.Levels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Level() != 700 {
+		t.Fatalf("start level %v", g.Level())
+	}
+	// Sustained idleness walks the ladder down.
+	for i := 0; i < 10; i++ {
+		g.Observe(0.2)
+	}
+	if g.Level() >= 700 {
+		t.Fatalf("governor did not step down: %v", g.Level())
+	}
+	down := g.Level()
+	// Saturation walks it back up.
+	for i := 0; i < 10; i++ {
+		g.Observe(1.0)
+	}
+	if g.Level() <= down {
+		t.Fatalf("governor did not step up: %v", g.Level())
+	}
+	if g.Transitions() == 0 {
+		t.Fatal("transitions not counted")
+	}
+}
+
+func TestGovernorHysteresis(t *testing.T) {
+	g, _ := NewGovernor(circuit.Levels())
+	// In-band samples never move the level.
+	for i := 0; i < 50; i++ {
+		g.Observe(0.7)
+	}
+	if g.Transitions() != 0 {
+		t.Fatalf("in-band samples caused %d transitions", g.Transitions())
+	}
+	// A single out-of-band blip (below Patience) does not move it either.
+	g.Observe(0.1)
+	g.Observe(0.7)
+	g.Observe(0.1)
+	g.Observe(0.7)
+	if g.Transitions() != 0 {
+		t.Fatal("blips moved the governor")
+	}
+}
+
+func TestGovernorClampsAtLadderEnds(t *testing.T) {
+	g, _ := NewGovernor([]circuit.Millivolts{500, 450})
+	for i := 0; i < 20; i++ {
+		g.Observe(0.0)
+	}
+	if g.Level() != 450 {
+		t.Fatalf("bottom clamp: %v", g.Level())
+	}
+	for i := 0; i < 20; i++ {
+		g.Observe(1.0)
+	}
+	if g.Level() != 500 {
+		t.Fatalf("top clamp: %v", g.Level())
+	}
+	g.Reset()
+	if g.Level() != 500 || g.Transitions() != 0 {
+		t.Fatal("reset wrong")
+	}
+}
+
+func TestGovernorValidation(t *testing.T) {
+	if _, err := NewGovernor(nil); err == nil {
+		t.Fatal("empty ladder accepted")
+	}
+}
+
+func TestGovernorClampsUtilization(t *testing.T) {
+	g, _ := NewGovernor(circuit.Levels())
+	g.Observe(-5)
+	g.Observe(42)
+	// No panic, and extreme samples count as 0/1.
+	if g.Level() != 700 {
+		t.Fatalf("level %v after 2 samples (patience 2 not reached per direction)", g.Level())
+	}
+}

@@ -1,0 +1,199 @@
+// Package energy implements the power, energy and area model of the
+// evaluation (Sections 5.1 and 5.3):
+//
+//   - dynamic energy scales with activity and quadratically with Vcc;
+//   - leakage power grows about 10% per 25 mV of Vcc *decrease* in this
+//     near-threshold range and contributes energy proportional to execution
+//     time, calibrated so leakage is 10% of total energy at 600 mV;
+//   - the IRAW hardware overhead is accounted as latch-equivalent bits with
+//     a pessimistic 20x activity factor (the paper measures < 1% energy and
+//     < 0.03% area).
+package energy
+
+import (
+	"fmt"
+
+	"lowvcc/internal/circuit"
+)
+
+// Activity is the per-run event census the dynamic model weighs.
+type Activity struct {
+	Instructions uint64
+	IL0Accesses  uint64
+	DL0Accesses  uint64
+	UL1Accesses  uint64
+	TLBAccesses  uint64
+	RFReads      uint64
+	RFWrites     uint64
+	IQOps        uint64 // allocations + issues
+	BPAccesses   uint64
+	ExecOps      uint64
+	MemAccesses  uint64 // off-chip transfers
+}
+
+// Weights are relative dynamic energies per event at the reference voltage
+// (arbitrary units; only ratios matter for the reproduced figures).
+type Weights struct {
+	Instruction float64
+	IL0Access   float64
+	DL0Access   float64
+	UL1Access   float64
+	TLBAccess   float64
+	RFRead      float64
+	RFWrite     float64
+	IQOp        float64
+	BPAccess    float64
+	ExecOp      float64
+	MemAccess   float64
+}
+
+// DefaultWeights follows the usual energy ranking of core structures
+// (off-chip ≫ UL1 ≫ L0 arrays ≫ register/queue/predictor ops).
+func DefaultWeights() Weights {
+	return Weights{
+		Instruction: 1.0,
+		IL0Access:   1.2,
+		DL0Access:   1.5,
+		UL1Access:   6.0,
+		TLBAccess:   0.4,
+		RFRead:      0.3,
+		RFWrite:     0.4,
+		IQOp:        0.3,
+		BPAccess:    0.2,
+		ExecOp:      0.8,
+		MemAccess:   120.0,
+	}
+}
+
+// weightedSum folds an activity census with the weights.
+func weightedSum(a Activity, w Weights) float64 {
+	return float64(a.Instructions)*w.Instruction +
+		float64(a.IL0Accesses)*w.IL0Access +
+		float64(a.DL0Accesses)*w.DL0Access +
+		float64(a.UL1Accesses)*w.UL1Access +
+		float64(a.TLBAccesses)*w.TLBAccess +
+		float64(a.RFReads)*w.RFRead +
+		float64(a.RFWrites)*w.RFWrite +
+		float64(a.IQOps)*w.IQOp +
+		float64(a.BPAccesses)*w.BPAccess +
+		float64(a.ExecOps)*w.ExecOp +
+		float64(a.MemAccesses)*w.MemAccess
+}
+
+// Model evaluates energies. Configure with New, then Calibrate against a
+// reference run before asking for absolute energies.
+type Model struct {
+	w Weights
+	// vRef is the voltage at which the leakage share is defined (600 mV).
+	vRef circuit.Millivolts
+	// leakFracAtRef is leakage's share of total energy for the calibration
+	// run at vRef (the paper sets 10%).
+	leakFracAtRef float64
+	// growthPer25mV is the leakage-power growth factor per 25 mV decrease.
+	growthPer25mV float64
+	// leakPower is the calibrated leakage power at vRef (energy per time
+	// unit); zero until Calibrate.
+	leakPower  float64
+	calibrated bool
+}
+
+// New returns an uncalibrated model.
+func New(w Weights) *Model {
+	return &Model{w: w, vRef: 600, leakFracAtRef: 0.10, growthPer25mV: 1.10}
+}
+
+// Calibrate fixes the leakage power so that the given reference activity
+// and execution time at 600 mV yield the paper's 10% leakage share.
+func (m *Model) Calibrate(refActivity Activity, refTime float64) error {
+	if refTime <= 0 {
+		return fmt.Errorf("energy: non-positive reference time %v", refTime)
+	}
+	dyn := m.Dynamic(m.vRef, refActivity, 0)
+	if dyn <= 0 {
+		return fmt.Errorf("energy: empty reference activity")
+	}
+	// leak / (dyn + leak) = frac  =>  leak = dyn * frac/(1-frac)
+	leak := dyn * m.leakFracAtRef / (1 - m.leakFracAtRef)
+	m.leakPower = leak / refTime
+	m.calibrated = true
+	return nil
+}
+
+// Calibrated reports whether Calibrate has run.
+func (m *Model) Calibrated() bool { return m.calibrated }
+
+// LeakagePower returns the leakage power at v (energy per time unit).
+func (m *Model) LeakagePower(v circuit.Millivolts) float64 {
+	if !m.calibrated {
+		panic("energy: model not calibrated")
+	}
+	steps := float64(m.vRef-v) / 25
+	p := m.leakPower
+	for i := 0; i < int(steps+0.5); i++ {
+		p *= m.growthPer25mV
+	}
+	for i := 0; i > int(steps-0.5); i-- {
+		p /= m.growthPer25mV
+	}
+	return p
+}
+
+// Dynamic returns the dynamic energy of the activity at v.
+// overheadFrac adds the IRAW hardware's share (see OverheadFraction).
+func (m *Model) Dynamic(v circuit.Millivolts, a Activity, overheadFrac float64) float64 {
+	scale := float64(v) * float64(v) / (float64(m.vRef) * float64(m.vRef))
+	return weightedSum(a, m.w) * scale * (1 + overheadFrac)
+}
+
+// Breakdown is one run's energy decomposition.
+type Breakdown struct {
+	Dynamic float64
+	Leakage float64
+}
+
+// Total returns dynamic plus leakage energy.
+func (b Breakdown) Total() float64 { return b.Dynamic + b.Leakage }
+
+// Energy returns the energy breakdown for a run at v that took `time` time
+// units with the given activity. overheadFrac is the IRAW dynamic overhead
+// (0 for baseline designs).
+func (m *Model) Energy(v circuit.Millivolts, a Activity, time, overheadFrac float64) Breakdown {
+	return Breakdown{
+		Dynamic: m.Dynamic(v, a, overheadFrac),
+		Leakage: m.LeakagePower(v) * time,
+	}
+}
+
+// EDP returns the energy-delay product of a breakdown and a time.
+func EDP(b Breakdown, time float64) float64 { return b.Total() * time }
+
+// Area accounts the IRAW hardware additions against the core's SRAM
+// capacity (Section 5.1: "area overhead has been estimated based on the
+// size of the extra bits ... assuming latch-size bits").
+type Area struct {
+	// CoreSRAMBits is the total SRAM capacity of the core.
+	CoreSRAMBits int
+	// ExtraLatchBits is the IRAW addition in latch cells (scoreboard
+	// extension, STable, port-stall counters, occupancy comparator).
+	ExtraLatchBits int
+	// LatchToSRAMRatio is the area of a latch relative to an SRAM bitcell.
+	LatchToSRAMRatio float64
+}
+
+// OverheadFraction returns the area overhead of the IRAW hardware.
+func (a Area) OverheadFraction() float64 {
+	if a.CoreSRAMBits == 0 {
+		return 0
+	}
+	return float64(a.ExtraLatchBits) * a.LatchToSRAMRatio / float64(a.CoreSRAMBits)
+}
+
+// EnergyOverheadFraction returns the pessimistic dynamic-energy overhead of
+// the IRAW hardware: the bit-count share scaled by a 20x activity factor
+// (Section 5.1).
+func (a Area) EnergyOverheadFraction() float64 {
+	if a.CoreSRAMBits == 0 {
+		return 0
+	}
+	return 20 * float64(a.ExtraLatchBits) / float64(a.CoreSRAMBits)
+}

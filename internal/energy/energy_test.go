@@ -1,0 +1,158 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"lowvcc/internal/circuit"
+)
+
+func refActivity() Activity {
+	return Activity{
+		Instructions: 100000, IL0Accesses: 50000, DL0Accesses: 30000,
+		UL1Accesses: 3000, TLBAccesses: 80000, RFReads: 120000,
+		RFWrites: 70000, IQOps: 200000, BPAccesses: 15000,
+		ExecOps: 100000, MemAccesses: 100,
+	}
+}
+
+func calibrated(t *testing.T) *Model {
+	t.Helper()
+	m := New(DefaultWeights())
+	if err := m.Calibrate(refActivity(), 1000); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCalibrationLeakageShare(t *testing.T) {
+	m := calibrated(t)
+	// At the calibration point, leakage must be exactly 10% of total.
+	b := m.Energy(600, refActivity(), 1000, 0)
+	share := b.Leakage / b.Total()
+	if math.Abs(share-0.10) > 1e-9 {
+		t.Fatalf("leakage share at 600mV = %v, want 0.10", share)
+	}
+}
+
+func TestUncalibratedPanics(t *testing.T) {
+	m := New(DefaultWeights())
+	if m.Calibrated() {
+		t.Fatal("fresh model claims calibration")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	m.LeakagePower(500)
+}
+
+func TestCalibrateRejectsBadInput(t *testing.T) {
+	m := New(DefaultWeights())
+	if err := m.Calibrate(refActivity(), 0); err == nil {
+		t.Error("zero time accepted")
+	}
+	if err := m.Calibrate(Activity{}, 100); err == nil {
+		t.Error("empty activity accepted")
+	}
+}
+
+// TestLeakageGrowth: +10% per 25 mV decrease (Section 5.3).
+func TestLeakageGrowth(t *testing.T) {
+	m := calibrated(t)
+	p600 := m.LeakagePower(600)
+	p575 := m.LeakagePower(575)
+	if math.Abs(p575/p600-1.10) > 1e-9 {
+		t.Fatalf("leakage growth per 25mV = %v, want 1.10", p575/p600)
+	}
+	p400 := m.LeakagePower(400)
+	want := p600 * math.Pow(1.10, 8)
+	if math.Abs(p400/want-1) > 1e-9 {
+		t.Fatalf("leakage at 400mV = %v, want %v", p400, want)
+	}
+	// Above the reference it shrinks.
+	p650 := m.LeakagePower(650)
+	if math.Abs(p650/p600-1/1.21) > 1e-9 {
+		t.Fatalf("leakage at 650mV = %v", p650/p600)
+	}
+}
+
+// TestDynamicQuadratic: dynamic energy scales with Vcc^2.
+func TestDynamicQuadratic(t *testing.T) {
+	m := calibrated(t)
+	a := refActivity()
+	d600 := m.Dynamic(600, a, 0)
+	d300x2 := m.Dynamic(circuit.Millivolts(400), a, 0)
+	want := d600 * (400.0 * 400.0) / (600.0 * 600.0)
+	if math.Abs(d300x2-want) > 1e-6*want {
+		t.Fatalf("Dynamic(400) = %v, want %v", d300x2, want)
+	}
+}
+
+func TestOverheadFraction(t *testing.T) {
+	m := calibrated(t)
+	a := refActivity()
+	base := m.Dynamic(500, a, 0)
+	ovh := m.Dynamic(500, a, 0.01)
+	if math.Abs(ovh/base-1.01) > 1e-9 {
+		t.Fatalf("overhead scaling = %v", ovh/base)
+	}
+}
+
+func TestEDP(t *testing.T) {
+	b := Breakdown{Dynamic: 3, Leakage: 1}
+	if b.Total() != 4 {
+		t.Fatal("total wrong")
+	}
+	if EDP(b, 2) != 8 {
+		t.Fatal("EDP wrong")
+	}
+}
+
+func TestAreaAccounting(t *testing.T) {
+	a := Area{CoreSRAMBits: 1000000, ExtraLatchBits: 50, LatchToSRAMRatio: 4}
+	if got := a.OverheadFraction(); math.Abs(got-0.0002) > 1e-12 {
+		t.Fatalf("area overhead = %v", got)
+	}
+	if got := a.EnergyOverheadFraction(); math.Abs(got-0.001) > 1e-12 {
+		t.Fatalf("energy overhead = %v", got)
+	}
+	empty := Area{}
+	if empty.OverheadFraction() != 0 || empty.EnergyOverheadFraction() != 0 {
+		t.Fatal("empty area not zero")
+	}
+}
+
+// TestEDPTrendMatchesPaperShape: with a baseline whose time stretches by
+// the write-delay ratio and an IRAW design at logic speed + stalls, the
+// relative EDP must fall below 1 at low Vcc — the headline of Figure 12.
+func TestEDPTrendMatchesPaperShape(t *testing.T) {
+	m := calibrated(t)
+	cm := circuit.Default()
+	a := refActivity()
+	refCycles := 1000.0 / cm.PlanBaseline(600).CycleTime // cycles of the calibration run
+
+	relEDP := func(v circuit.Millivolts) float64 {
+		base := cm.PlanBaseline(v)
+		iraw := cm.PlanIRAW(v)
+		stall := 1.0
+		if iraw.IRAWActive {
+			stall = 1.09 // ~9% stall cost while the mechanism is on
+		}
+		baseTime := refCycles * base.CycleTime
+		irawTime := refCycles * stall * iraw.CycleTime
+		be := m.Energy(v, a, baseTime, 0)
+		ie := m.Energy(v, a, irawTime, 0.005)
+		return ie.Total() * irawTime / (be.Total() * baseTime)
+	}
+	if e := relEDP(500); e < 0.5 || e > 0.75 {
+		t.Errorf("relative EDP at 500mV = %.3f, want ~0.61 band", e)
+	}
+	if e := relEDP(400); e < 0.2 || e > 0.45 {
+		t.Errorf("relative EDP at 400mV = %.3f, want ~0.33 band", e)
+	}
+	if e := relEDP(650); math.Abs(e-1) > 0.02 {
+		t.Errorf("relative EDP at 650mV = %.3f, want ~1 (IRAW inactive)", e)
+	}
+}

@@ -1,0 +1,219 @@
+package predictor
+
+import "testing"
+
+func TestBimodalLearnsBias(t *testing.T) {
+	p := New(DefaultConfig())
+	p.SetStabilizeCycles(0)
+	const pc = 0x400100
+	cycle := int64(0)
+	// Train taken.
+	for i := 0; i < 10; i++ {
+		cycle += 10
+		pred := p.PredictBranch(cycle, pc)
+		p.UpdateBranch(cycle, pc, true, pred != true)
+	}
+	if !p.PredictBranch(cycle+10, pc) {
+		t.Fatal("predictor failed to learn a taken bias")
+	}
+	// Retrain not-taken.
+	for i := 0; i < 10; i++ {
+		cycle += 10
+		pred := p.PredictBranch(cycle, pc)
+		p.UpdateBranch(cycle, pc, false, pred != false)
+	}
+	if p.PredictBranch(cycle+10, pc) {
+		t.Fatal("predictor failed to relearn a not-taken bias")
+	}
+}
+
+func TestCountersSaturate(t *testing.T) {
+	p := New(DefaultConfig())
+	const pc = 0x400200
+	for i := 0; i < 100; i++ {
+		p.UpdateBranch(int64(i*10), pc, true, false)
+	}
+	// One not-taken must not flip a saturated counter.
+	p.UpdateBranch(2000, pc, false, false)
+	if !p.PredictBranch(3000, pc) {
+		t.Fatal("one contrary outcome flipped a saturated counter")
+	}
+}
+
+// TestPotentialCorruptionWindow reproduces the Section 4.5 hazard: a
+// prediction read within N cycles of an update that flipped the counter
+// MSB returns the stale direction and is counted.
+func TestPotentialCorruptionWindow(t *testing.T) {
+	p := New(DefaultConfig())
+	p.SetStabilizeCycles(1)
+	const pc = 0x400300
+	// Counters start weakly-not-taken (1). Two taken updates cross the MSB
+	// on the first (1->2).
+	p.UpdateBranch(100, pc, true, false) // MSB flips at cycle 100
+	got := p.PredictBranch(101, pc)      // read inside the window
+	if got {
+		t.Fatal("in-window read should observe the stale (not-taken) MSB")
+	}
+	if p.Stats().PotentialCorruptions != 1 {
+		t.Fatalf("PotentialCorruptions = %d, want 1", p.Stats().PotentialCorruptions)
+	}
+	// After the window the new direction is visible.
+	if !p.PredictBranch(102, pc) {
+		t.Fatal("post-window read should observe the updated counter")
+	}
+	// A non-MSB-flipping update (2->3) never corrupts.
+	p.UpdateBranch(200, pc, true, false)
+	before := p.Stats().PotentialCorruptions
+	if !p.PredictBranch(201, pc) {
+		t.Fatal("non-flip in-window read changed direction")
+	}
+	if p.Stats().PotentialCorruptions != before {
+		t.Fatal("non-flip update counted as corruption")
+	}
+}
+
+func TestCorruptionWindowDisabledAtN0(t *testing.T) {
+	p := New(DefaultConfig())
+	p.SetStabilizeCycles(0)
+	const pc = 0x400400
+	p.UpdateBranch(100, pc, true, false)
+	p.PredictBranch(101, pc)
+	if p.Stats().PotentialCorruptions != 0 {
+		t.Fatal("corruption counted with IRAW off")
+	}
+}
+
+func TestRSBRoundTrip(t *testing.T) {
+	p := New(DefaultConfig())
+	p.SetStabilizeCycles(1)
+	p.PushCall(10, 0x401000)
+	p.PushCall(20, 0x402000)
+	tgt, stall, conflict := p.PredictReturn(100)
+	if tgt != 0x402000 || stall != 0 || conflict {
+		t.Fatalf("PredictReturn = (%#x,%d,%v)", tgt, stall, conflict)
+	}
+	tgt, _, _ = p.PredictReturn(110)
+	if tgt != 0x401000 {
+		t.Fatalf("second return = %#x, want 0x401000", tgt)
+	}
+}
+
+// TestRSBConflict: a return popping an entry pushed within the window is a
+// conflict (call and return 1 cycle apart with N=1), and the predicted
+// target is corrupted.
+func TestRSBConflict(t *testing.T) {
+	p := New(DefaultConfig())
+	p.SetStabilizeCycles(1)
+	p.PushCall(100, 0x401000)
+	tgt, stall, conflict := p.PredictReturn(101)
+	if !conflict || stall != 0 {
+		t.Fatalf("want conflict, got (%#x,%d,%v)", tgt, stall, conflict)
+	}
+	if tgt == 0x401000 {
+		t.Fatal("conflicting return returned an intact target")
+	}
+	if p.Stats().RSBConflicts != 1 {
+		t.Fatalf("RSBConflicts = %d, want 1", p.Stats().RSBConflicts)
+	}
+	// Outside the window: clean.
+	p.PushCall(200, 0x403000)
+	tgt, _, conflict = p.PredictReturn(202)
+	if conflict || tgt != 0x403000 {
+		t.Fatalf("clean return = (%#x,%v)", tgt, conflict)
+	}
+}
+
+// TestRSBDeterministicStalls: the testability variant stalls instead of
+// corrupting (Section 4.5: "the RSB should be stalled after a call").
+func TestRSBDeterministicStalls(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Deterministic = true
+	p := New(cfg)
+	p.SetStabilizeCycles(1)
+	p.PushCall(100, 0x401000)
+	tgt, stall, conflict := p.PredictReturn(101)
+	if conflict {
+		t.Fatal("deterministic mode reported a conflict")
+	}
+	if stall != 1 {
+		t.Fatalf("stall = %d, want 1", stall)
+	}
+	if tgt != 0x401000 {
+		t.Fatalf("target = %#x, want intact address", tgt)
+	}
+	if p.Stats().RSBStallCycles != 1 {
+		t.Fatalf("RSBStallCycles = %d, want 1", p.Stats().RSBStallCycles)
+	}
+}
+
+func TestRSBWrapsAround(t *testing.T) {
+	p := New(Config{BPEntries: 64, RSBEntries: 2})
+	p.PushCall(10, 0xA)
+	p.PushCall(20, 0xB)
+	p.PushCall(30, 0xC) // overwrites 0xA
+	tgt, _, _ := p.PredictReturn(100)
+	if tgt != 0xC {
+		t.Fatalf("pop1 = %#x", tgt)
+	}
+	tgt, _, _ = p.PredictReturn(110)
+	if tgt != 0xB {
+		t.Fatalf("pop2 = %#x", tgt)
+	}
+	tgt, _, _ = p.PredictReturn(120) // wrapped: oldest slot now holds 0xC
+	if tgt != 0xC {
+		t.Fatalf("pop3 = %#x, want wrap to 0xC", tgt)
+	}
+}
+
+func TestGshareDiffersFromBimodal(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.HistoryBits = 8
+	g := New(cfg)
+	const pc = 0x400500
+	// Alternate history so the same PC maps to different counters.
+	g.UpdateBranch(10, pc, true, false)
+	g.UpdateBranch(20, pc, true, false)
+	idxAfterTT := g.index(pc)
+	g.UpdateBranch(30, pc, false, false)
+	idxAfterF := g.index(pc)
+	if idxAfterTT == idxAfterF {
+		t.Fatal("gshare index ignores history")
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	p := New(DefaultConfig())
+	p.PredictBranch(1, 0x10)
+	p.UpdateBranch(1, 0x10, true, true)
+	p.PredictReturn(5)
+	p.NoteReturnMispredict()
+	s := p.Stats()
+	if s.Predictions != 1 || s.Mispredicts != 1 || s.ReturnPredictions != 1 || s.ReturnMispredicts != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestAreaAccounting(t *testing.T) {
+	p := New(DefaultConfig())
+	if p.CounterBits() != 8192 {
+		t.Fatalf("CounterBits = %d, want 8192", p.CounterBits())
+	}
+	if p.RSBBits() != 512 {
+		t.Fatalf("RSBBits = %d, want 512", p.RSBBits())
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, cfg := range []Config{
+		{BPEntries: 0, RSBEntries: 8},
+		{BPEntries: 100, RSBEntries: 8}, // not power of two
+		{BPEntries: 64, RSBEntries: 0},
+		{BPEntries: 64, RSBEntries: 8, HistoryBits: -1},
+	} {
+		func() {
+			defer func() { recover() }()
+			New(cfg)
+			t.Errorf("config %+v accepted", cfg)
+		}()
+	}
+}

@@ -1,0 +1,140 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named curve for an ASCII plot.
+type Series struct {
+	Name   string
+	Marker byte
+	Y      []float64
+}
+
+// Plot renders aligned ASCII line charts of one or more series over a
+// shared x-axis, the form in which cmd/figures reproduces the paper's
+// figure panels (delay curves, cycle times, gain curves).
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// XTicks labels the columns (one per sample).
+	XTicks []string
+	Series []Series
+	// Height is the number of character rows for the y-range (default 16).
+	Height int
+	// YMax clips the y-range when positive (the paper's Figure 1 clips at
+	// 10 a.u. while the curves keep growing).
+	YMax float64
+}
+
+// AddSeries appends a curve; every series must have len(XTicks) samples.
+func (p *Plot) AddSeries(name string, marker byte, y []float64) {
+	p.Series = append(p.Series, Series{Name: name, Marker: marker, Y: y})
+}
+
+// Render draws the chart.
+func (p *Plot) Render(w io.Writer) error {
+	if len(p.Series) == 0 || len(p.XTicks) == 0 {
+		_, err := fmt.Fprintf(w, "%s\n(empty plot)\n", p.Title)
+		return err
+	}
+	for _, s := range p.Series {
+		if len(s.Y) != len(p.XTicks) {
+			return fmt.Errorf("report: series %q has %d samples, want %d", s.Name, len(s.Y), len(p.XTicks))
+		}
+	}
+	height := p.Height
+	if height <= 0 {
+		height = 16
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range p.Series {
+		for _, v := range s.Y {
+			if p.YMax > 0 && v > p.YMax {
+				v = p.YMax
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if lo > 0 && lo < hi/4 {
+		lo = 0 // anchor at zero when the data plausibly starts there
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	cols := len(p.XTicks)
+	colWidth := 0
+	for _, t := range p.XTicks {
+		if len(t) > colWidth {
+			colWidth = len(t)
+		}
+	}
+	colWidth++
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols*colWidth))
+	}
+	rowOf := func(v float64) int {
+		if p.YMax > 0 && v > p.YMax {
+			v = p.YMax
+		}
+		frac := (v - lo) / (hi - lo)
+		r := int(math.Round(frac * float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r > height-1 {
+			r = height - 1
+		}
+		return height - 1 - r // row 0 at the top
+	}
+	for _, s := range p.Series {
+		for i, v := range s.Y {
+			grid[rowOf(v)][i*colWidth+colWidth/2] = s.Marker
+		}
+	}
+
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s\n", p.Title)
+	}
+	legend := make([]string, 0, len(p.Series))
+	for _, s := range p.Series {
+		legend = append(legend, fmt.Sprintf("%c=%s", s.Marker, s.Name))
+	}
+	fmt.Fprintf(&b, "  [%s]\n", strings.Join(legend, "  "))
+	axisWidth := len(fmt.Sprintf("%.1f", hi))
+	if w2 := len(fmt.Sprintf("%.1f", lo)); w2 > axisWidth {
+		axisWidth = w2
+	}
+	for r := 0; r < height; r++ {
+		label := strings.Repeat(" ", axisWidth)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*.1f", axisWidth, hi)
+		case height - 1:
+			label = fmt.Sprintf("%*.1f", axisWidth, lo)
+		case (height - 1) / 2:
+			label = fmt.Sprintf("%*.1f", axisWidth, (hi+lo)/2)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", axisWidth), strings.Repeat("-", cols*colWidth))
+	fmt.Fprintf(&b, "%s  ", strings.Repeat(" ", axisWidth))
+	for _, t := range p.XTicks {
+		fmt.Fprintf(&b, "%-*s", colWidth, t)
+	}
+	b.WriteByte('\n')
+	if p.XLabel != "" || p.YLabel != "" {
+		fmt.Fprintf(&b, "%s  (x: %s, y: %s)\n", strings.Repeat(" ", axisWidth), p.XLabel, p.YLabel)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,85 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func samplePlot() *Plot {
+	p := &Plot{
+		Title:  "delay vs Vcc",
+		XLabel: "Vcc",
+		YLabel: "a.u.",
+		XTicks: []string{"700", "600", "500", "400"},
+		Height: 8,
+	}
+	p.AddSeries("logic", '*', []float64{1, 1.2, 1.6, 2.7})
+	p.AddSeries("write", 'w', []float64{0.5, 1.0, 2.9, 39})
+	return p
+}
+
+func TestPlotRender(t *testing.T) {
+	var buf bytes.Buffer
+	if err := samplePlot().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"delay vs Vcc", "*=logic", "w=write", "700", "400", "(x: Vcc, y: a.u.)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Marker characters must appear in the grid (later series overwrite
+	// earlier ones where curves coincide, so not every sample is visible).
+	if strings.Count(out, "*") < 2 {
+		t.Errorf("logic markers missing:\n%s", out)
+	}
+	if strings.Count(out, "w") < 4 { // legend 'w' + at least 3 samples
+		t.Errorf("write markers missing:\n%s", out)
+	}
+}
+
+func TestPlotYMaxClips(t *testing.T) {
+	p := samplePlot()
+	p.YMax = 10 // the paper's Figure 1 clips its y-axis at 10
+	var buf bytes.Buffer
+	if err := p.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "10.0") {
+		t.Errorf("clipped range not reflected:\n%s", buf.String())
+	}
+	if strings.Contains(buf.String(), "39.0") {
+		t.Errorf("unclipped max leaked into axis:\n%s", buf.String())
+	}
+}
+
+func TestPlotMismatchedSeriesRejected(t *testing.T) {
+	p := &Plot{XTicks: []string{"a", "b"}}
+	p.AddSeries("bad", 'x', []float64{1})
+	var buf bytes.Buffer
+	if err := p.Render(&buf); err == nil {
+		t.Fatal("mismatched series accepted")
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	p := &Plot{Title: "empty"}
+	var buf bytes.Buffer
+	if err := p.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "(empty plot)") {
+		t.Fatal("empty plot not marked")
+	}
+}
+
+func TestPlotFlatSeries(t *testing.T) {
+	p := &Plot{XTicks: []string{"1", "2"}, Height: 4}
+	p.AddSeries("flat", 'f', []float64{2, 2})
+	var buf bytes.Buffer
+	if err := p.Render(&buf); err != nil {
+		t.Fatal(err) // zero range must not divide by zero
+	}
+}

@@ -1,0 +1,58 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := NewTable("demo", "name", "value")
+	t.AddRow("alpha", 1.5)
+	t.AddRow("beta, the second", 42)
+	return t
+}
+
+func TestRenderAligned(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "alpha") {
+		t.Fatalf("output missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[2], "---") {
+		t.Fatalf("no rule line:\n%s", out)
+	}
+}
+
+func TestRenderCSVQuoting(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "\"beta, the second\"") {
+		t.Fatalf("comma cell not quoted:\n%s", out)
+	}
+	if !strings.HasPrefix(out, "name,value\n") {
+		t.Fatalf("header wrong:\n%s", out)
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if Pct(0.1234) != "12.34%" {
+		t.Fatal(Pct(0.1234))
+	}
+	if F(1.23456) != "1.235" || F2(1.23456) != "1.23" {
+		t.Fatal("float helpers wrong")
+	}
+	if Bool(true) != "YES" || Bool(false) != "NO" {
+		t.Fatal("Bool wrong")
+	}
+}

@@ -1,0 +1,227 @@
+// Package rng provides deterministic pseudo-random number generation and the
+// distributions used by the workload generators and variation models.
+//
+// The simulator must produce bit-identical results for a given seed across Go
+// releases and platforms, so it cannot depend on math/rand's unspecified
+// stream. The package implements SplitMix64 (for seeding) and xoshiro256**
+// (for the main stream), both with published reference outputs that the test
+// suite pins down.
+package rng
+
+import "math"
+
+// splitMix64 advances a SplitMix64 state and returns the next output.
+// It is used to expand a single user seed into the four xoshiro words.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Source is a deterministic xoshiro256** generator. The zero value is not
+// valid; use New.
+type Source struct {
+	s [4]uint64
+}
+
+// New returns a Source seeded from seed via SplitMix64, as recommended by the
+// xoshiro authors. Distinct seeds yield independent-looking streams.
+func New(seed uint64) *Source {
+	var src Source
+	sm := seed
+	for i := range src.s {
+		src.s[i] = splitMix64(&sm)
+	}
+	// A pathological all-zero state would be a fixed point; SplitMix64 cannot
+	// produce four zero words from any seed, but guard anyway.
+	if src.s[0]|src.s[1]|src.s[2]|src.s[3] == 0 {
+		src.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &src
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (s *Source) Uint64() uint64 {
+	result := rotl(s.s[1]*5, 7) * 9
+	t := s.s[1] << 17
+	s.s[2] ^= s.s[0]
+	s.s[3] ^= s.s[1]
+	s.s[1] ^= s.s[2]
+	s.s[0] ^= s.s[3]
+	s.s[2] ^= t
+	s.s[3] = rotl(s.s[3], 45)
+	return result
+}
+
+// Fork returns a new Source whose stream is independent of the receiver's
+// continued use. It is used to give each structure (workload class, cache
+// variation map, ...) its own stream so that adding draws to one consumer
+// does not perturb another.
+func (s *Source) Fork() *Source {
+	seed := s.Uint64()
+	return New(seed ^ 0xd1342543de82ef95)
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 random bits.
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(s.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform uint64 in [0, n) using Lemire's multiply-shift
+// rejection method. It panics if n == 0.
+func (s *Source) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with zero n")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return s.Uint64() & (n - 1)
+	}
+	threshold := -n % n
+	for {
+		v := s.Uint64()
+		hi, lo := mul64(v, n)
+		if lo >= threshold {
+			return hi
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of x and y as (hi, lo). Implemented
+// directly so the package has no dependency beyond math.
+func mul64(x, y uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	x0, x1 := x&mask, x>>32
+	y0, y1 := y&mask, y>>32
+	w0 := x0 * y0
+	t := x1*y0 + w0>>32
+	w1 := t & mask
+	w2 := t >> 32
+	w1 += x0 * y1
+	hi = x1*y1 + w2 + w1>>32
+	lo = x * y
+	return
+}
+
+// Bool returns true with probability p.
+func (s *Source) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64() < p
+}
+
+// Normal returns a normally distributed float64 with the given mean and
+// standard deviation, using the Box–Muller transform (the cached second
+// variate is deliberately discarded to keep Source stateless beyond s).
+func (s *Source) Normal(mean, stddev float64) float64 {
+	// Avoid log(0).
+	u1 := 1 - s.Float64()
+	u2 := s.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// Geometric returns a geometrically distributed integer >= 1 with success
+// probability p (mean 1/p): the number of trials up to and including the
+// first success. It panics unless 0 < p <= 1.
+func (s *Source) Geometric(p float64) int {
+	if p <= 0 || p > 1 {
+		panic("rng: Geometric requires 0 < p <= 1")
+	}
+	if p == 1 {
+		return 1
+	}
+	u := 1 - s.Float64() // in (0, 1]
+	k := int(math.Ceil(math.Log(u) / math.Log(1-p)))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// Exponential returns an exponentially distributed float64 with the given
+// mean. It panics if mean <= 0.
+func (s *Source) Exponential(mean float64) float64 {
+	if mean <= 0 {
+		panic("rng: Exponential requires mean > 0")
+	}
+	return -mean * math.Log(1-s.Float64())
+}
+
+// Zipf draws integers in [0, n) with probability proportional to
+// 1/(rank+1)^theta. The zero value is not valid; use NewZipf.
+type Zipf struct {
+	src   *Source
+	n     int
+	theta float64
+	cdf   []float64
+}
+
+// NewZipf returns a Zipf sampler over [0, n) with exponent theta >= 0.
+// theta == 0 degenerates to uniform. It panics if n <= 0 or theta < 0.
+func NewZipf(src *Source, n int, theta float64) *Zipf {
+	if n <= 0 {
+		panic("rng: NewZipf requires n > 0")
+	}
+	if theta < 0 {
+		panic("rng: NewZipf requires theta >= 0")
+	}
+	z := &Zipf{src: src, n: n, theta: theta, cdf: make([]float64, n)}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), theta)
+		z.cdf[i] = sum
+	}
+	inv := 1 / sum
+	for i := range z.cdf {
+		z.cdf[i] *= inv
+	}
+	z.cdf[n-1] = 1 // guard against rounding
+	return z
+}
+
+// Next returns the next Zipf-distributed rank in [0, n).
+func (z *Zipf) Next() int {
+	u := z.src.Float64()
+	// Binary search for the first cdf entry >= u.
+	lo, hi := 0, z.n-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// N returns the size of the sampler's domain.
+func (z *Zipf) N() int { return z.n }
+
+// Perm fills out with a uniform random permutation of [0, len(out)).
+func (s *Source) Perm(out []int) {
+	for i := range out {
+		out[i] = i
+	}
+	for i := len(out) - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+}

@@ -1,0 +1,272 @@
+// Package scoreboard implements the readiness-control logic of the in-order
+// issue stage (Section 4.1): one shift register per logical register, with
+// the IRAW-avoidance extension that inserts a stabilization bubble between
+// the bypass window and register-file readability.
+//
+// A producer of latency L issued with B-bit registers sets, from the most
+// significant bit: L zeros, then (IRAW mode) `bypass` ones, N zeros, and
+// ones to fill — e.g. 0001011 for L=3, bypass=1, N=1 (Figure 8). Registers
+// shift left one position per cycle, replicating the least significant bit.
+// A consumer may issue only while the MSB of each source's register is 1:
+// exactly the cycles in which the value is reachable through the bypass
+// network or, later, readable from stabilized bitcells — never the cycles
+// in which the RF entry is still stabilizing.
+//
+// The scoreboard tracks two views per register:
+//
+//   - the read view (IRAW-extended pattern) gating consumers, and
+//   - the write view (baseline pattern, no bubble) gating writers (WAW);
+//     overwriting a stabilizing entry is safe (Section 4.4), so writers do
+//     not wait out the bubble.
+package scoreboard
+
+import (
+	"fmt"
+
+	"lowvcc/internal/isa"
+)
+
+// Config sizes the scoreboard.
+type Config struct {
+	// Regs is the number of logical registers tracked.
+	Regs int
+	// Bits is the shift-register width B. Producers of latency up to
+	// B-1-bypass-maxN use the in-register path; longer ones use the
+	// long-latency event path (Section 4.1.1).
+	Bits int
+	// BypassLevels is the depth of the bypass network (ones inserted after
+	// the latency zeros in IRAW mode).
+	BypassLevels int
+}
+
+// DefaultConfig matches the modelled Silverthorne-like core: 16 logical
+// registers, 12-bit shift registers, one bypass level.
+func DefaultConfig() Config {
+	return Config{Regs: isa.NumRegs, Bits: 12, BypassLevels: 1}
+}
+
+// Scoreboard is the per-register readiness tracker. Not goroutine-safe.
+type Scoreboard struct {
+	cfg Config
+	n   int // current stabilization cycles (0 = IRAW avoidance off)
+
+	read  []uint32 // IRAW-extended shift registers (bit cfg.Bits-1 is MSB)
+	write []uint32 // baseline shift registers (value-availability only)
+	// longPending marks registers whose producer's completion will be
+	// signalled by an event (load miss, divider) rather than the register.
+	longPending []bool
+
+	// ExtraBits is the per-register storage added by the IRAW extension
+	// (bypass + max bubble), for the area/energy accounting.
+	ExtraBits int
+}
+
+// New returns a scoreboard with every register ready.
+func New(cfg Config) *Scoreboard {
+	if cfg.Regs <= 0 || cfg.Bits <= 1 || cfg.Bits > 31 || cfg.BypassLevels < 0 {
+		panic(fmt.Sprintf("scoreboard: invalid config %+v", cfg))
+	}
+	sb := &Scoreboard{
+		cfg:         cfg,
+		read:        make([]uint32, cfg.Regs),
+		write:       make([]uint32, cfg.Regs),
+		longPending: make([]bool, cfg.Regs),
+		ExtraBits:   cfg.BypassLevels + 1, // bubble sized for N up to MaxN=1 per level change
+	}
+	all := sb.allOnes()
+	for r := range sb.read {
+		sb.read[r] = all
+		sb.write[r] = all
+	}
+	return sb
+}
+
+// Config returns the scoreboard configuration.
+func (sb *Scoreboard) Config() Config { return sb.cfg }
+
+func (sb *Scoreboard) allOnes() uint32 { return (1 << sb.cfg.Bits) - 1 }
+
+func (sb *Scoreboard) msb() uint32 { return 1 << (sb.cfg.Bits - 1) }
+
+// SetStabilizeCycles reconfigures the stabilization bubble N for the
+// current Vcc level (Section 4.1.3). N = 0 disables IRAW avoidance: the
+// shift registers are then initialized exactly as in the baseline.
+func (sb *Scoreboard) SetStabilizeCycles(n int) {
+	if n < 0 || n > sb.MaxN() {
+		panic(fmt.Sprintf("scoreboard: N=%d out of range [0,%d]", n, sb.MaxN()))
+	}
+	sb.n = n
+}
+
+// StabilizeCycles returns the configured bubble width N.
+func (sb *Scoreboard) StabilizeCycles() int { return sb.n }
+
+// MaxN is the largest bubble the register width can accommodate alongside a
+// single-cycle producer and the bypass window.
+func (sb *Scoreboard) MaxN() int { return sb.cfg.Bits - 1 - sb.cfg.BypassLevels - 1 }
+
+// MaxShortLatency is the largest producer latency the shift register can
+// express with the current bubble; longer producers must use the
+// long-latency path.
+func (sb *Scoreboard) MaxShortLatency() int {
+	if sb.n == 0 {
+		return sb.cfg.Bits - 1
+	}
+	return sb.cfg.Bits - 1 - sb.cfg.BypassLevels - sb.n
+}
+
+// Pattern returns the initialization value for a producer of the given
+// latency under the current mode, MSB at bit Bits-1. Exposed for tests and
+// the documentation tooling.
+func (sb *Scoreboard) Pattern(latency int) uint32 {
+	if latency < 1 || latency > sb.MaxShortLatency() {
+		panic(fmt.Sprintf("scoreboard: latency %d outside short range [1,%d]", latency, sb.MaxShortLatency()))
+	}
+	bits := make([]byte, 0, sb.cfg.Bits)
+	for i := 0; i < latency; i++ {
+		bits = append(bits, 0) // (I) producer execution
+	}
+	if sb.n > 0 {
+		for i := 0; i < sb.cfg.BypassLevels; i++ {
+			bits = append(bits, 1) // (II) bypass window
+		}
+		for i := 0; i < sb.n; i++ {
+			bits = append(bits, 0) // (III) stabilization bubble
+		}
+	}
+	for len(bits) < sb.cfg.Bits {
+		bits = append(bits, 1) // (IV) ready thereafter
+	}
+	var v uint32
+	for _, b := range bits { // bits[0] is the MSB
+		v = v<<1 | uint32(b)
+	}
+	return v
+}
+
+// basePattern is the baseline (no-bubble) pattern for the write view.
+func (sb *Scoreboard) basePattern(latency int) uint32 {
+	return sb.allOnes() >> latency
+}
+
+// Shift advances every register by one cycle: shift left, replicate LSB.
+// Call once at each cycle boundary before issue decisions.
+func (sb *Scoreboard) Shift() {
+	mask := sb.allOnes()
+	for r := range sb.read {
+		sb.read[r] = (sb.read[r]<<1 | sb.read[r]&1) & mask
+		sb.write[r] = (sb.write[r]<<1 | sb.write[r]&1) & mask
+	}
+}
+
+func (sb *Scoreboard) check(r isa.Reg) {
+	if int(r) >= sb.cfg.Regs {
+		panic(fmt.Sprintf("scoreboard: register %v out of range", r))
+	}
+}
+
+// ReadReady reports whether a consumer of r may issue this cycle: the MSB
+// of the IRAW-extended register is set and no long-latency producer is
+// outstanding. Registers never written are always ready.
+func (sb *Scoreboard) ReadReady(r isa.Reg) bool {
+	if r == isa.RegNone {
+		return true
+	}
+	sb.check(r)
+	return !sb.longPending[r] && sb.read[r]&sb.msb() != 0
+}
+
+// WriteReady reports whether a new producer of r may issue this cycle
+// without a WAW hazard: the previous value is available (baseline view) and
+// no long-latency producer is outstanding. The stabilization bubble does
+// not block writers — overwriting a stabilizing entry is safe.
+func (sb *Scoreboard) WriteReady(r isa.Reg) bool {
+	if r == isa.RegNone {
+		return true
+	}
+	sb.check(r)
+	return !sb.longPending[r] && sb.write[r]&sb.msb() != 0
+}
+
+// IRAWBlocked reports whether a consumer of r is blocked *only* by the
+// stabilization bubble: the value is available (a baseline machine would
+// issue) but the RF entry is still stabilizing. This distinguishes the
+// paper's "13.2% of instructions delayed" statistic from ordinary RAW
+// stalls.
+func (sb *Scoreboard) IRAWBlocked(r isa.Reg) bool {
+	if r == isa.RegNone {
+		return false
+	}
+	sb.check(r)
+	if sb.longPending[r] {
+		return false
+	}
+	return sb.read[r]&sb.msb() == 0 && sb.write[r]&sb.msb() != 0
+}
+
+// IssueProducer records that a producer of r with the given execution
+// latency issued this cycle. Latency must be in the short range; use
+// BeginLongLatency otherwise.
+func (sb *Scoreboard) IssueProducer(r isa.Reg, latency int) {
+	sb.check(r)
+	sb.read[r] = sb.Pattern(latency)
+	sb.write[r] = sb.basePattern(latency)
+	sb.longPending[r] = false
+}
+
+// BeginLongLatency records a producer whose completion time is unknown or
+// too large for the shift register (load miss, divider). The register stays
+// not-ready until CompleteLongLatency.
+func (sb *Scoreboard) BeginLongLatency(r isa.Reg) {
+	sb.check(r)
+	sb.read[r] = 0
+	sb.write[r] = 0
+	sb.longPending[r] = true
+}
+
+// CompleteLongLatency signals that the long-latency value of r will be
+// available in `remaining` cycles (>= 1), re-arming the shift register as
+// if a short producer of that latency issued this cycle (Section 4.1.1:
+// "the shift register is updated ... when the value is expected to be
+// available in less than B cycles").
+func (sb *Scoreboard) CompleteLongLatency(r isa.Reg, remaining int) {
+	sb.check(r)
+	if !sb.longPending[r] {
+		panic(fmt.Sprintf("scoreboard: CompleteLongLatency(%v) without pending producer", r))
+	}
+	if remaining < 1 {
+		remaining = 1
+	}
+	if remaining > sb.MaxShortLatency() {
+		panic(fmt.Sprintf("scoreboard: remaining %d exceeds short range %d", remaining, sb.MaxShortLatency()))
+	}
+	sb.read[r] = sb.Pattern(remaining)
+	sb.write[r] = sb.basePattern(remaining)
+	sb.longPending[r] = false
+}
+
+// LongPending reports whether r awaits a long-latency completion.
+func (sb *Scoreboard) LongPending(r isa.Reg) bool {
+	if r == isa.RegNone {
+		return false
+	}
+	sb.check(r)
+	return sb.longPending[r]
+}
+
+// Flush resets every register to ready (pipeline flush: the in-flight
+// producers that set these bits were squashed or will be reinjected).
+func (sb *Scoreboard) Flush() {
+	all := sb.allOnes()
+	for r := range sb.read {
+		sb.read[r] = all
+		sb.write[r] = all
+		sb.longPending[r] = false
+	}
+}
+
+// ReadView returns the raw read-view register of r (for tests and tracing).
+func (sb *Scoreboard) ReadView(r isa.Reg) uint32 {
+	sb.check(r)
+	return sb.read[r]
+}

@@ -1,0 +1,192 @@
+package sim
+
+import (
+	"lowvcc/internal/circuit"
+	"lowvcc/internal/core"
+	"lowvcc/internal/trace"
+	"lowvcc/internal/workload"
+)
+
+// ReschedResult quantifies the compiler-assistance extension (Section 5.2
+// leaves it as future work: "the compiler could help removing some of the
+// register file induced stalls by scheduling instructions properly").
+type ReschedResult struct {
+	Vcc circuit.Millivolts
+	// DelayedBefore/After: fraction of instructions delayed by RF IRAW.
+	DelayedBefore, DelayedAfter float64
+	// PerfGainBefore/After: IRAW speedup over baseline with the original
+	// and rescheduled traces.
+	PerfGainBefore, PerfGainAfter float64
+}
+
+// CompilerResched runs the IRAW core on the suite before and after the
+// bubble-aware list scheduler widens producer→consumer distances.
+func CompilerResched(traces []*trace.Trace, v circuit.Millivolts, minGap int) (*ReschedResult, error) {
+	resched := make([]*trace.Trace, len(traces))
+	for i, tr := range traces {
+		resched[i] = workload.Reschedule(tr, minGap)
+	}
+	res := &ReschedResult{Vcc: v}
+
+	baseCfg := core.DefaultConfig(v, circuit.ModeBaseline)
+	irawCfg := core.DefaultConfig(v, circuit.ModeIRAW)
+
+	_, base, err := RunPoint(baseCfg, traces)
+	if err != nil {
+		return nil, err
+	}
+	_, iraw, err := RunPoint(irawCfg, traces)
+	if err != nil {
+		return nil, err
+	}
+	_, baseR, err := RunPoint(baseCfg, resched)
+	if err != nil {
+		return nil, err
+	}
+	_, irawR, err := RunPoint(irawCfg, resched)
+	if err != nil {
+		return nil, err
+	}
+	res.DelayedBefore = iraw.Run.DelayedFraction()
+	res.DelayedAfter = irawR.Run.DelayedFraction()
+	res.PerfGainBefore = base.Time / iraw.Time
+	res.PerfGainAfter = baseR.Time / irawR.Time
+	return res, nil
+}
+
+// GateSensitivityRow reports the IQ occupancy-gate ablation at one
+// configuration (Section 4.2's ICI/AI parameters).
+type GateSensitivityRow struct {
+	ICI, AI   int
+	Threshold int
+	IPC       float64
+	GateShare float64
+}
+
+// GateSensitivity sweeps the IQ issue/allocation widths at v, showing how
+// the occupancy threshold ICI + AI*N scales the gate's cost.
+func GateSensitivity(traces []*trace.Trace, v circuit.Millivolts) ([]GateSensitivityRow, error) {
+	configs := []struct{ ici, ai int }{{2, 2}, {2, 4}, {4, 2}, {4, 4}}
+	rows := make([]GateSensitivityRow, 0, len(configs))
+	for _, cc := range configs {
+		cfg := core.DefaultConfig(v, circuit.ModeIRAW)
+		cfg.IQ.ICI = cc.ici
+		cfg.IQ.AI = cc.ai
+		if cfg.Width > cc.ici {
+			cfg.Width = cc.ici
+		}
+		_, agg, err := RunPoint(cfg, traces)
+		if err != nil {
+			return nil, err
+		}
+		n := agg.Plan.StabilizeCycles
+		rows = append(rows, GateSensitivityRow{
+			ICI: cc.ici, AI: cc.ai,
+			Threshold: cc.ici + cc.ai*n,
+			IPC:       agg.IPC(),
+			GateShare: agg.Run.StallFraction(2), // stats.StallIQGate
+		})
+	}
+	return rows, nil
+}
+
+// STableSizingRow reports the Store-Table sizing ablation.
+type STableSizingRow struct {
+	StoresPerCycle int
+	Entries        int
+	IPC            float64
+	Forwards       uint64
+	ReplayCycles   uint64
+}
+
+// STableSizing varies the table's commit width provisioning at v.
+func STableSizing(traces []*trace.Trace, v circuit.Millivolts) ([]STableSizingRow, error) {
+	rows := make([]STableSizingRow, 0, 3)
+	for _, spc := range []int{1, 2, 4} {
+		cfg := core.DefaultConfig(v, circuit.ModeIRAW)
+		cfg.Hierarchy.StoresPerCycle = spc
+		_, agg, err := RunPoint(cfg, traces)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, STableSizingRow{
+			StoresPerCycle: spc,
+			Entries:        spc * (cfg.Hierarchy.MaxStabilize + 1),
+			IPC:            agg.IPC(),
+			Forwards:       agg.Mem.STableForwards,
+			ReplayCycles:   agg.Mem.DL0ReplayStallCycles,
+		})
+	}
+	return rows, nil
+}
+
+// DeterminismResult compares the default (ignore violations) and the
+// deterministic (testability) BP/RSB variants of Section 4.5.
+type DeterminismResult struct {
+	DefaultIPC, DeterministicIPC   float64
+	DefaultConflicts               uint64
+	DeterministicRSBStallCycles    uint64
+	DeterministicPotentialCorrupts uint64
+}
+
+// DeterminismMode measures the cost of the deterministic RSB variant.
+func DeterminismMode(traces []*trace.Trace, v circuit.Millivolts) (*DeterminismResult, error) {
+	cfg := core.DefaultConfig(v, circuit.ModeIRAW)
+	_, def, err := RunPoint(cfg, traces)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Predictor.Deterministic = true
+	_, det, err := RunPoint(cfg, traces)
+	if err != nil {
+		return nil, err
+	}
+	return &DeterminismResult{
+		DefaultIPC:                     def.IPC(),
+		DeterministicIPC:               det.IPC(),
+		DefaultConflicts:               def.BP.RSBConflicts,
+		DeterministicRSBStallCycles:    det.BP.RSBStallCycles,
+		DeterministicPotentialCorrupts: det.BP.PotentialCorruptions,
+	}, nil
+}
+
+// CombinedFaultyRow compares pure IRAW with the Section 4.4 combination
+// (IRAW + tolerated faulty bits at 4 sigma) at one voltage.
+type CombinedFaultyRow struct {
+	Vcc              circuit.Millivolts
+	IRAWFreqGain     float64
+	CombinedFreqGain float64
+	IRAWPerfGain     float64
+	CombinedPerfGain float64
+	DisabledLines    int
+}
+
+// CombinedFaulty measures the combination across the given levels.
+func CombinedFaulty(traces []*trace.Trace, levels []circuit.Millivolts) ([]CombinedFaultyRow, error) {
+	rows := make([]CombinedFaultyRow, 0, len(levels))
+	for _, v := range levels {
+		_, base, err := RunPoint(core.DefaultConfig(v, circuit.ModeBaseline), traces)
+		if err != nil {
+			return nil, err
+		}
+		_, iraw, err := RunPoint(core.DefaultConfig(v, circuit.ModeIRAW), traces)
+		if err != nil {
+			return nil, err
+		}
+		cfg := core.DefaultConfig(v, circuit.ModeIRAW)
+		cfg.CombineFaultyBits = true
+		_, comb, err := RunPoint(cfg, traces)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, CombinedFaultyRow{
+			Vcc:              v,
+			IRAWFreqGain:     iraw.Plan.FreqGain,
+			CombinedFreqGain: comb.Plan.FreqGain,
+			IRAWPerfGain:     base.Time / iraw.Time,
+			CombinedPerfGain: base.Time / comb.Time,
+			DisabledLines:    comb.IL0.DisabledLines + comb.DL0.DisabledLines + comb.UL1.DisabledLines,
+		})
+	}
+	return rows, nil
+}

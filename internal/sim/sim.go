@@ -1,0 +1,116 @@
+// Package sim is the experiment harness: it runs the workload suite across
+// voltage levels and design modes and regenerates every table and figure of
+// the paper's evaluation (Section 5), plus the ablations DESIGN.md lists.
+//
+// Conventions:
+//   - every core is warmed with one untimed pass of its trace before the
+//     measured pass (the paper's production traces run warm);
+//   - suite-level numbers aggregate cycles and time across traces, so they
+//     are weighted means;
+//   - the energy model is calibrated once per suite on the 600 mV baseline
+//     run, per Section 5.1 ("leakage ... set to 10% of the total energy
+//     consumption at 600mV").
+package sim
+
+import (
+	"fmt"
+
+	"lowvcc/internal/circuit"
+	"lowvcc/internal/core"
+	"lowvcc/internal/energy"
+	"lowvcc/internal/trace"
+	"lowvcc/internal/workload"
+)
+
+// SuiteSpec sizes the standard evaluation workload.
+type SuiteSpec struct {
+	// InstsPerTrace is the dynamic length of each trace.
+	InstsPerTrace int
+	// SeedsPerProfile is how many traces each workload class contributes.
+	SeedsPerProfile int
+}
+
+// DefaultSuite is the size used by the checked-in experiments: large enough
+// for warm caches and stable rates, small enough to sweep 13 voltages x
+// several modes in seconds.
+func DefaultSuite() SuiteSpec { return SuiteSpec{InstsPerTrace: 60000, SeedsPerProfile: 2} }
+
+// QuickSuite is a fast variant for tests.
+func QuickSuite() SuiteSpec { return SuiteSpec{InstsPerTrace: 20000, SeedsPerProfile: 1} }
+
+// Traces materializes the suite.
+func (s SuiteSpec) Traces() []*trace.Trace {
+	return workload.Suite(s.InstsPerTrace, s.SeedsPerProfile)
+}
+
+// RunPoint simulates every trace at one operating point (warm measurement)
+// and returns the per-trace results plus their aggregate.
+func RunPoint(cfg core.Config, traces []*trace.Trace) ([]*core.Result, *core.Result, error) {
+	results := make([]*core.Result, 0, len(traces))
+	for _, tr := range traces {
+		c, err := core.New(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := c.Run(tr); err != nil { // warm-up pass
+			return nil, nil, fmt.Errorf("warmup %s: %w", tr.Name, err)
+		}
+		res, err := c.Run(tr)
+		if err != nil {
+			return nil, nil, fmt.Errorf("measure %s: %w", tr.Name, err)
+		}
+		results = append(results, res)
+	}
+	return results, core.MergeResults(results), nil
+}
+
+// Point is one aggregated operating-point measurement.
+type Point struct {
+	Vcc  circuit.Millivolts
+	Mode circuit.Mode
+	Agg  *core.Result
+}
+
+// Sweep runs the suite for each voltage level in each mode.
+// modes maps to rows; the result is indexed [mode][voltage].
+func Sweep(traces []*trace.Trace, modes []circuit.Mode, levels []circuit.Millivolts) (map[circuit.Mode]map[circuit.Millivolts]*Point, error) {
+	out := make(map[circuit.Mode]map[circuit.Millivolts]*Point, len(modes))
+	for _, mode := range modes {
+		out[mode] = make(map[circuit.Millivolts]*Point, len(levels))
+		for _, v := range levels {
+			cfg := core.DefaultConfig(v, mode)
+			_, agg, err := RunPoint(cfg, traces)
+			if err != nil {
+				return nil, fmt.Errorf("sweep %v %v: %w", v, mode, err)
+			}
+			out[mode][v] = &Point{Vcc: v, Mode: mode, Agg: agg}
+		}
+	}
+	return out, nil
+}
+
+// CalibratedEnergy builds an energy model calibrated on the 600 mV baseline
+// aggregate, as the paper prescribes.
+func CalibratedEnergy(traces []*trace.Trace) (*energy.Model, error) {
+	cfg := core.DefaultConfig(600, circuit.ModeBaseline)
+	_, agg, err := RunPoint(cfg, traces)
+	if err != nil {
+		return nil, err
+	}
+	m := energy.New(energy.DefaultWeights())
+	if err := m.Calibrate(agg.Activity, agg.Time); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// IRAWOverheads computes the area and pessimistic-energy overheads of the
+// IRAW hardware for the default core (Section 5.3: <0.03% area, <1% energy).
+func IRAWOverheads() energy.Area {
+	c := core.MustNew(core.DefaultConfig(500, circuit.ModeIRAW))
+	return energy.Area{
+		CoreSRAMBits:     c.TotalSRAMBits(),
+		ExtraLatchBits:   c.IRAWExtraBits(),
+		LatchToSRAMRatio: 4,
+	}
+}

@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"lowvcc/internal/isa"
+)
+
+func sample() *Trace {
+	return &Trace{
+		Name: "sample",
+		Insts: []Inst{
+			{PC: 0x400000, Op: isa.OpALU, Dst: 3, Src1: 1, Src2: 2},
+			{PC: 0x400004, Op: isa.OpLoad, Dst: 4, Src1: 3, Src2: isa.RegNone, Addr: 0x10000000, Size: 8},
+			{PC: 0x400008, Op: isa.OpStore, Dst: isa.RegNone, Src1: 3, Src2: 4, Addr: 0x10000040, Size: 8},
+			{PC: 0x40000c, Op: isa.OpBranch, Dst: isa.RegNone, Src1: 4, Src2: isa.RegNone, Addr: 0x400000, Taken: true},
+			{PC: 0x400000, Op: isa.OpNop, Dst: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	tr := sample()
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tr.Name {
+		t.Fatalf("name %q != %q", got.Name, tr.Name)
+	}
+	if len(got.Insts) != len(tr.Insts) {
+		t.Fatalf("count %d != %d", len(got.Insts), len(tr.Insts))
+	}
+	for i := range tr.Insts {
+		if got.Insts[i] != tr.Insts[i] {
+			t.Fatalf("inst %d: %+v != %+v", i, got.Insts[i], tr.Insts[i])
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(pcs [16]uint64, regs [16]uint8, taken [16]bool) bool {
+		tr := &Trace{Name: "prop"}
+		for i := 0; i < 16; i++ {
+			tr.Insts = append(tr.Insts, Inst{
+				PC:    pcs[i],
+				Op:    isa.OpALU,
+				Dst:   isa.Reg(regs[i] % isa.NumRegs),
+				Src1:  isa.Reg(regs[(i+1)%16] % isa.NumRegs),
+				Src2:  isa.RegNone,
+				Taken: taken[i],
+			})
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		for i := range tr.Insts {
+			if got.Insts[i] != tr.Insts[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadRejectsBadMagic(t *testing.T) {
+	_, err := Read(bytes.NewReader([]byte("NOTATRACEFILE....")))
+	if !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestReadRejectsTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{9, len(full) / 2, len(full) - 1} {
+		if _, err := Read(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestReadValidatesRecords(t *testing.T) {
+	tr := sample()
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Corrupt the op byte of the first record (header is 8 magic + 2 len +
+	// 6 name + 8 count = 24 bytes; op at offset 24+16).
+	raw[24+16] = 0xEE
+	if _, err := Read(bytes.NewReader(raw)); err == nil {
+		t.Fatal("corrupt op accepted")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Inst{
+		{Op: isa.Op(99)},
+		{Op: isa.OpALU, Dst: 99, Src1: isa.RegNone, Src2: isa.RegNone},
+		{Op: isa.OpALU, Dst: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone}, // ALU needs dst
+		{Op: isa.OpLoad, Dst: 1, Src1: 0, Src2: isa.RegNone, Size: 0},           // load needs size
+	}
+	for i, in := range bad {
+		if err := in.Validate(); err == nil {
+			t.Errorf("bad inst %d accepted: %+v", i, in)
+		}
+	}
+	good := Inst{Op: isa.OpALU, Dst: 1, Src1: 2, Src2: isa.RegNone}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good inst rejected: %v", err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(sample())
+	if s.Count != 5 || s.Loads != 1 || s.Stores != 1 || s.Ctrl != 1 {
+		t.Fatalf("summary wrong: %+v", s)
+	}
+	if s.PerOp[isa.OpALU] != 1 || s.PerOp[isa.OpNop] != 1 {
+		t.Fatalf("per-op wrong: %+v", s.PerOp)
+	}
+	if s.WithDst != 2 {
+		t.Fatalf("WithDst = %d, want 2", s.WithDst)
+	}
+}

@@ -1,0 +1,145 @@
+package workload
+
+import (
+	"lowvcc/internal/isa"
+	"lowvcc/internal/trace"
+)
+
+// Reschedule implements the compiler-assistance extension the paper leaves
+// as future work (Section 5.2: "the compiler could help removing some of
+// the register file induced stalls by scheduling instructions properly").
+//
+// It list-schedules each basic block (the instructions between control
+// transfers), greedily hoisting ready instructions so that a consumer never
+// sits exactly one cycle behind its producer's bypass window — the IRAW
+// bubble — when an independent instruction can fill the slot instead. The
+// transformation preserves per-block instruction sets, program order across
+// blocks, relative memory-operation order (no alias analysis), and every
+// register dependence.
+//
+// minGap is the producer→consumer distance (in instructions) the scheduler
+// tries to establish. On a W-wide core a consumer issues roughly d/W cycles
+// behind its producer, so clearing an N-cycle bubble after L+bypass cycles
+// needs d > W*(L+bypass+N): 8 works well for the modelled 2-wide core
+// (smaller gaps can land consumers exactly on the bubble cycle).
+func Reschedule(tr *trace.Trace, minGap int) *trace.Trace {
+	if minGap < 1 {
+		minGap = 1
+	}
+	out := &trace.Trace{Name: tr.Name + "-resched", Insts: make([]trace.Inst, 0, len(tr.Insts))}
+	block := make([]trace.Inst, 0, 64)
+	flush := func() {
+		out.Insts = append(out.Insts, scheduleBlock(block, minGap)...)
+		block = block[:0]
+	}
+	for _, in := range tr.Insts {
+		block = append(block, in)
+		// Control transfers end a schedulable region (they must stay last);
+		// fences serialize and stay put too.
+		if isa.IsCtrl(in.Op) || in.Op == isa.OpFence {
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+// scheduleBlock reorders one block's body (the terminator, if any, stays
+// last) to widen producer→consumer distances.
+func scheduleBlock(block []trace.Inst, minGap int) []trace.Inst {
+	n := len(block)
+	if n <= 2 {
+		return append([]trace.Inst(nil), block...)
+	}
+	body := n
+	last := block[n-1]
+	hasTerm := isa.IsCtrl(last.Op) || last.Op == isa.OpFence
+	if hasTerm {
+		body = n - 1
+	}
+
+	type node struct {
+		in        trace.Inst
+		deps      []int // body indices this instruction must follow
+		nsucc     int   // unscheduled dependents (for bookkeeping only)
+		scheduled bool
+	}
+	nodes := make([]node, body)
+	lastWriter := map[isa.Reg]int{}
+	lastMem := -1
+	for i := 0; i < body; i++ {
+		in := block[i]
+		nd := node{in: in}
+		for _, src := range [2]isa.Reg{in.Src1, in.Src2} {
+			if src == isa.RegNone {
+				continue
+			}
+			if w, ok := lastWriter[src]; ok {
+				nd.deps = append(nd.deps, w) // RAW
+			}
+		}
+		if in.Dst != isa.RegNone {
+			if w, ok := lastWriter[in.Dst]; ok {
+				nd.deps = append(nd.deps, w) // WAW
+			}
+		}
+		if isa.IsMem(in.Op) {
+			if lastMem >= 0 {
+				nd.deps = append(nd.deps, lastMem) // memory order
+			}
+			lastMem = i
+		}
+		nodes[i] = nd
+		if in.Dst != isa.RegNone {
+			lastWriter[in.Dst] = i
+		}
+	}
+	for i := range nodes {
+		for _, d := range nodes[i].deps {
+			nodes[d].nsucc++
+		}
+	}
+
+	// position[i] = slot the body instruction was scheduled into.
+	position := make([]int, body)
+	out := make([]trace.Inst, 0, n)
+	for len(out) < body {
+		slot := len(out)
+		best := -1
+		bestScore := -1 << 30
+		for i := range nodes {
+			if nodes[i].scheduled {
+				continue
+			}
+			ready := true
+			gapPenalty := 0
+			for _, d := range nodes[i].deps {
+				if !nodes[d].scheduled {
+					ready = false
+					break
+				}
+				if gap := slot - position[d]; gap < minGap {
+					gapPenalty += minGap - gap
+				}
+			}
+			if !ready {
+				continue
+			}
+			// Prefer instructions whose dependences are already far away,
+			// then earlier program order (stability).
+			score := -gapPenalty*1000 - i
+			if score > bestScore {
+				bestScore = score
+				best = i
+			}
+		}
+		// A ready instruction always exists (the DAG is acyclic).
+		nodes[best].scheduled = true
+		position[best] = slot
+		out = append(out, nodes[best].in)
+	}
+	if hasTerm {
+		out = append(out, last)
+	}
+	return out
+}

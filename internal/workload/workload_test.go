@@ -1,0 +1,246 @@
+package workload
+
+import (
+	"testing"
+
+	"lowvcc/internal/isa"
+	"lowvcc/internal/trace"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(SpecInt(), 5000, 42)
+	b := Generate(SpecInt(), 5000, 42)
+	if a.Name != b.Name || len(a.Insts) != len(b.Insts) {
+		t.Fatal("shape differs between identical generations")
+	}
+	for i := range a.Insts {
+		if a.Insts[i] != b.Insts[i] {
+			t.Fatalf("inst %d differs: %+v vs %+v", i, a.Insts[i], b.Insts[i])
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a := Generate(SpecInt(), 1000, 1)
+	b := Generate(SpecInt(), 1000, 2)
+	same := 0
+	for i := range a.Insts {
+		if a.Insts[i] == b.Insts[i] {
+			same++
+		}
+	}
+	if same == len(a.Insts) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestGeneratedInstructionsValid(t *testing.T) {
+	for _, p := range Profiles() {
+		tr := Generate(p, 20000, 7)
+		for i, in := range tr.Insts {
+			if err := in.Validate(); err != nil {
+				t.Fatalf("%s inst %d invalid: %v (%+v)", p.Name, i, err, in)
+			}
+		}
+	}
+}
+
+// TestMixApproximatesProfile: generated op frequencies track the profile
+// weights (control ops are placed structurally so they drift more).
+func TestMixApproximatesProfile(t *testing.T) {
+	p := SpecInt()
+	tr := Generate(p, 100000, 11)
+	s := trace.Summarize(tr)
+	loadFrac := float64(s.Loads) / float64(s.Count)
+	if loadFrac < 0.15 || loadFrac > 0.30 {
+		t.Errorf("load fraction %.3f far from profile weight %.3f", loadFrac, p.Load)
+	}
+	aluFrac := float64(s.PerOp[isa.OpALU]) / float64(s.Count)
+	if aluFrac < 0.35 || aluFrac > 0.65 {
+		t.Errorf("alu fraction %.3f far from profile weight %.3f", aluFrac, p.ALU)
+	}
+	ctrlFrac := float64(s.Ctrl) / float64(s.Count)
+	if ctrlFrac < 0.05 || ctrlFrac > 0.30 {
+		t.Errorf("control fraction %.3f implausible", ctrlFrac)
+	}
+}
+
+// TestReturnsMatchCalls: returns never outnumber calls at any prefix (the
+// generator only emits a return with a live call stack), so the RSB
+// behaviour is well defined.
+func TestReturnsMatchCalls(t *testing.T) {
+	tr := Generate(Server(), 50000, 3)
+	depth := 0
+	for i, in := range tr.Insts {
+		switch in.Op {
+		case isa.OpCall:
+			depth++
+		case isa.OpReturn:
+			depth--
+			if depth < -64 { // generator bounds stack at 64
+				t.Fatalf("inst %d: unmatched returns (depth %d)", i, depth)
+			}
+		}
+	}
+}
+
+// TestReturnTargetsFollowCalls: returns overwhelmingly jump to the
+// instruction after their call site (the address an RSB would predict);
+// only out-of-range edge cases may deviate.
+func TestReturnTargetsFollowCalls(t *testing.T) {
+	tr := Generate(Server(), 50000, 5)
+	type frame struct{ retPC uint64 }
+	var stack []frame
+	match, total := 0, 0
+	for _, in := range tr.Insts {
+		switch in.Op {
+		case isa.OpCall:
+			stack = append(stack, frame{in.PC + 4})
+			if len(stack) > 64 {
+				stack = stack[1:]
+			}
+		case isa.OpReturn:
+			if len(stack) == 0 {
+				continue
+			}
+			want := stack[len(stack)-1].retPC
+			stack = stack[:len(stack)-1]
+			total++
+			if in.Addr == want {
+				match++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no matched returns in server trace")
+	}
+	if frac := float64(match) / float64(total); frac < 0.99 {
+		t.Errorf("only %.1f%% of returns target call+4; RSB would be useless", frac*100)
+	}
+}
+
+// TestPCContinuity: PCs advance sequentially except across taken control
+// transfers, whose targets the next instruction must honour.
+func TestPCContinuity(t *testing.T) {
+	tr := Generate(SpecInt(), 30000, 9)
+	for i := 1; i < len(tr.Insts); i++ {
+		prev, cur := tr.Insts[i-1], tr.Insts[i]
+		if isa.IsCtrl(prev.Op) && (prev.Taken || prev.Op != isa.OpBranch) {
+			if cur.PC != prev.Addr {
+				t.Fatalf("inst %d: PC %#x after taken %v to %#x", i, cur.PC, prev.Op, prev.Addr)
+			}
+		} else if cur.PC != prev.PC+4 {
+			t.Fatalf("inst %d: PC %#x does not follow %#x", i, cur.PC, prev.PC)
+		}
+	}
+}
+
+func TestMemoryAddressesInWorkingSet(t *testing.T) {
+	p := SpecInt()
+	tr := Generate(p, 30000, 13)
+	for i, in := range tr.Insts {
+		if !isa.IsMem(in.Op) {
+			continue
+		}
+		if in.Addr < dataBase || in.Addr >= dataBase+p.DataWorkingSet {
+			t.Fatalf("inst %d: address %#x outside working set", i, in.Addr)
+		}
+	}
+}
+
+// TestDependencyDistances: the mean distance between a consumer and its
+// most recent producing instruction tracks DepDistMean, the knob that
+// calibrates the 13.2%% IRAW-delay statistic.
+func TestDependencyDistances(t *testing.T) {
+	p := SpecInt()
+	tr := Generate(p, 100000, 17)
+	lastWriter := map[isa.Reg]int{}
+	var sum, n float64
+	for i, in := range tr.Insts {
+		for _, src := range []isa.Reg{in.Src1, in.Src2} {
+			if src == isa.RegNone {
+				continue
+			}
+			if w, ok := lastWriter[src]; ok {
+				d := float64(i - w)
+				if d <= 16 { // only near dependencies are meaningful here
+					sum += d
+					n++
+				}
+			}
+		}
+		if in.Dst != isa.RegNone {
+			lastWriter[in.Dst] = i
+		}
+	}
+	mean := sum / n
+	if mean < 1.2 || mean > 5.0 {
+		t.Errorf("near-dependency mean distance %.2f implausible for DepDistMean %.1f", mean, p.DepDistMean)
+	}
+}
+
+func TestSuiteShape(t *testing.T) {
+	suite := Suite(1000, 2)
+	if len(suite) != 14 {
+		t.Fatalf("suite has %d traces, want 7 profiles x 2 seeds", len(suite))
+	}
+	names := map[string]bool{}
+	for _, tr := range suite {
+		if tr.Len() != 1000 {
+			t.Fatalf("trace %s has %d insts", tr.Name, tr.Len())
+		}
+		if names[tr.Name] {
+			t.Fatalf("duplicate trace name %s", tr.Name)
+		}
+		names[tr.Name] = true
+	}
+}
+
+func TestValidateRejectsBadProfiles(t *testing.T) {
+	cases := []Profile{
+		{Name: "empty"},
+		func() Profile { p := SpecInt(); p.DepDistMean = 0.5; return p }(),
+		func() Profile { p := SpecInt(); p.DataWorkingSet = 0; return p }(),
+		func() Profile { p := SpecInt(); p.BlockLenMean = 0; return p }(),
+	}
+	for _, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("profile %q accepted", p.Name)
+		}
+	}
+}
+
+func TestBranchBiasSites(t *testing.T) {
+	// Multimedia has almost no flaky branches: its taken-rate per site
+	// should be strongly polarized.
+	tr := Generate(Multimedia(), 50000, 21)
+	taken := map[uint64][2]int{}
+	for _, in := range tr.Insts {
+		if in.Op != isa.OpBranch {
+			continue
+		}
+		c := taken[in.PC]
+		if in.Taken {
+			c[0]++
+		}
+		c[1]++
+		taken[in.PC] = c
+	}
+	polarized, total := 0, 0
+	for _, c := range taken {
+		if c[1] < 20 {
+			continue
+		}
+		total++
+		rate := float64(c[0]) / float64(c[1])
+		if rate < 0.15 || rate > 0.85 {
+			polarized++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no hot branch sites found")
+	}
+	if frac := float64(polarized) / float64(total); frac < 0.8 {
+		t.Errorf("only %.0f%% of multimedia branch sites polarized, want >80%%", frac*100)
+	}
+}

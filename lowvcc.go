@@ -1,0 +1,116 @@
+// Package lowvcc is a library-level reproduction of "High-Performance
+// Low-Vcc In-Order Core" (Abella, Chaparro, Vera, Carretero, González —
+// HPCA 2010): IRAW (immediate read after write) avoidance lets every SRAM
+// block of an in-order core run at logic speed at low supply voltage by
+// interrupting write operations early and guaranteeing that no read ever
+// observes a not-yet-stabilized entry.
+//
+// The package is a facade over the internal implementation:
+//
+//   - the calibrated circuit/delay model (internal/circuit);
+//   - the cycle-level Silverthorne-like core with all its SRAM blocks and
+//     per-structure avoidance mechanisms (internal/core and substrates);
+//   - the synthetic workload suite (internal/workload);
+//   - the experiment harness regenerating every table and figure of the
+//     paper's evaluation (internal/sim).
+//
+// Quick start:
+//
+//	tr := lowvcc.GenerateTrace(lowvcc.SpecIntProfile(), 100000, 1)
+//	base := lowvcc.MustNewCore(lowvcc.DefaultConfig(500, lowvcc.ModeBaseline))
+//	iraw := lowvcc.MustNewCore(lowvcc.DefaultConfig(500, lowvcc.ModeIRAW))
+//	rb, _ := base.Run(tr)
+//	ri, _ := iraw.Run(tr)
+//	fmt.Printf("speedup at 500mV: %.2fx\n", rb.Time/ri.Time)
+package lowvcc
+
+import (
+	"lowvcc/internal/circuit"
+	"lowvcc/internal/core"
+	"lowvcc/internal/sim"
+	"lowvcc/internal/trace"
+	"lowvcc/internal/workload"
+)
+
+// Core types re-exported for library users.
+type (
+	// Millivolts is a supply-voltage level (700 down to 400, step 25).
+	Millivolts = circuit.Millivolts
+	// Mode selects the design: baseline, IRAW, faulty-bits, extra-bypass.
+	Mode = circuit.Mode
+	// ClockPlan is the timing configuration at one operating point.
+	ClockPlan = circuit.ClockPlan
+	// Config describes one simulated core.
+	Config = core.Config
+	// Core is a simulated operating point of the modelled processor.
+	Core = core.Core
+	// Result reports one simulated trace.
+	Result = core.Result
+	// Trace is a dynamic instruction sequence.
+	Trace = trace.Trace
+	// Profile parameterizes a synthetic workload class.
+	Profile = workload.Profile
+	// SuiteSpec sizes the standard evaluation suite.
+	SuiteSpec = sim.SuiteSpec
+)
+
+// Design modes.
+const (
+	ModeBaseline    = circuit.ModeBaseline
+	ModeIRAW        = circuit.ModeIRAW
+	ModeFaultyBits  = circuit.ModeFaultyBits
+	ModeExtraBypass = circuit.ModeExtraBypass
+)
+
+// Levels returns the modelled voltage levels, 700 mV down to 400 mV.
+func Levels() []Millivolts { return circuit.Levels() }
+
+// DefaultConfig returns the modelled Silverthorne-like core at (v, mode).
+func DefaultConfig(v Millivolts, mode Mode) Config { return core.DefaultConfig(v, mode) }
+
+// NewCore builds a core for cfg.
+func NewCore(cfg Config) (*Core, error) { return core.New(cfg) }
+
+// MustNewCore is NewCore for static configurations.
+func MustNewCore(cfg Config) *Core { return core.MustNew(cfg) }
+
+// DelayModel returns the calibrated circuit model (Figure 1 curves, clock
+// plans, frequency gains).
+func DelayModel() *circuit.Model { return circuit.Default() }
+
+// GenerateTrace produces a deterministic synthetic trace.
+func GenerateTrace(p Profile, instructions int, seed uint64) *Trace {
+	return workload.Generate(p, instructions, seed)
+}
+
+// Workload profiles (the paper-aligned classes).
+func SpecIntProfile() Profile     { return workload.SpecInt() }
+func SpecFPProfile() Profile      { return workload.SpecFP() }
+func KernelProfile() Profile      { return workload.Kernel() }
+func MultimediaProfile() Profile  { return workload.Multimedia() }
+func OfficeProfile() Profile      { return workload.Office() }
+func ServerProfile() Profile      { return workload.Server() }
+func WorkstationProfile() Profile { return workload.Workstation() }
+func MemBoundProfile() Profile    { return workload.MemBound() }
+
+// StandardSuite materializes the evaluation workload: every paper-aligned
+// class, seedsPerProfile traces each, n instructions per trace.
+func StandardSuite(n, seedsPerProfile int) []*Trace {
+	return workload.Suite(n, seedsPerProfile)
+}
+
+// RunWarm runs tr once untimed (cache warm-up) and once measured on a fresh
+// core built from cfg, returning the measured result.
+func RunWarm(cfg Config, tr *Trace) (*Result, error) {
+	c, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.Run(tr); err != nil {
+		return nil, err
+	}
+	return c.Run(tr)
+}
+
+// MergeResults aggregates per-trace results into suite totals.
+func MergeResults(results []*Result) *Result { return core.MergeResults(results) }

@@ -1,0 +1,78 @@
+package lowvcc_test
+
+import (
+	"testing"
+
+	"lowvcc"
+)
+
+// TestFacadeQuickstart exercises the documented public-API flow end to end.
+func TestFacadeQuickstart(t *testing.T) {
+	tr := lowvcc.GenerateTrace(lowvcc.SpecIntProfile(), 15000, 1)
+	base, err := lowvcc.RunWarm(lowvcc.DefaultConfig(500, lowvcc.ModeBaseline), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iraw, err := lowvcc.RunWarm(lowvcc.DefaultConfig(500, lowvcc.ModeIRAW), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := base.Time / iraw.Time
+	if speedup < 1.2 || speedup > 1.6 {
+		t.Errorf("speedup at 500mV = %.2f, want the paper's band (~1.4-1.5)", speedup)
+	}
+	if iraw.CorruptConsumed != 0 {
+		t.Errorf("corrupt consumed: %d", iraw.CorruptConsumed)
+	}
+}
+
+func TestFacadeLevels(t *testing.T) {
+	ls := lowvcc.Levels()
+	if len(ls) != 13 || ls[0] != 700 || ls[12] != 400 {
+		t.Fatalf("levels = %v", ls)
+	}
+}
+
+func TestFacadeDelayModel(t *testing.T) {
+	m := lowvcc.DelayModel()
+	if g := m.FreqGain(500); g < 1.55 || g > 1.59 {
+		t.Fatalf("FreqGain(500) = %.3f", g)
+	}
+}
+
+func TestFacadeProfilesDistinct(t *testing.T) {
+	profiles := []lowvcc.Profile{
+		lowvcc.SpecIntProfile(), lowvcc.SpecFPProfile(), lowvcc.KernelProfile(),
+		lowvcc.MultimediaProfile(), lowvcc.OfficeProfile(), lowvcc.ServerProfile(),
+		lowvcc.WorkstationProfile(), lowvcc.MemBoundProfile(),
+	}
+	names := map[string]bool{}
+	for _, p := range profiles {
+		if names[p.Name] {
+			t.Fatalf("duplicate profile %q", p.Name)
+		}
+		names[p.Name] = true
+		if err := p.Validate(); err != nil {
+			t.Errorf("profile %q invalid: %v", p.Name, err)
+		}
+	}
+}
+
+func TestFacadeSuiteAndMerge(t *testing.T) {
+	traces := lowvcc.StandardSuite(2000, 1)
+	if len(traces) != 7 {
+		t.Fatalf("suite size = %d", len(traces))
+	}
+	var results []*lowvcc.Result
+	for _, tr := range traces {
+		r, err := lowvcc.RunWarm(lowvcc.DefaultConfig(575, lowvcc.ModeIRAW), tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, r)
+	}
+	agg := lowvcc.MergeResults(results)
+	if agg.Run.Instructions != 7*2000 {
+		t.Fatalf("aggregate instructions = %d", agg.Run.Instructions)
+	}
+}
