@@ -233,6 +233,5 @@ func BenchmarkCoreThroughput(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	b.SetBytes(0)
 	b.ReportMetric(float64(tr.Len())*float64(b.N)/b.Elapsed().Seconds(), "insts/s")
 }

@@ -40,7 +40,9 @@ func main() {
 	seeds := flag.Int("seeds", 2, "traces per workload class")
 	mv := flag.Int("mv", 575, "voltage for the breakdown statistic")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	workers := flag.Int("workers", 0, "simulation worker goroutines (0 = GOMAXPROCS)")
 	flag.Parse()
+	sim.SetWorkers(*workers)
 
 	spec := sim.SuiteSpec{InstsPerTrace: *insts, SeedsPerProfile: *seeds}
 	g := &gen{csv: *csv, spec: spec, breakdownMV: circuit.Millivolts(*mv)}

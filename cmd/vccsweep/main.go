@@ -22,7 +22,9 @@ func main() {
 	seeds := flag.Int("seeds", 1, "traces per workload class")
 	modesFlag := flag.String("modes", "baseline,iraw", "comma-separated designs to sweep")
 	csv := flag.Bool("csv", false, "emit CSV")
+	workers := flag.Int("workers", 0, "simulation worker goroutines (0 = GOMAXPROCS)")
 	flag.Parse()
+	sim.SetWorkers(*workers)
 
 	if err := run(*insts, *seeds, *modesFlag, *csv); err != nil {
 		fmt.Fprintln(os.Stderr, "vccsweep:", err)

@@ -1,0 +1,3 @@
+module lowvcc
+
+go 1.24

@@ -49,6 +49,13 @@ type Core struct {
 	wakes []wake
 
 	seq uint64 // value generator: each producer writes its sequence number
+
+	// Per-run scratch, owned by the core so back-to-back Run calls (and
+	// Reset-reused cores) allocate nothing on the hot path. delayed and
+	// mispred are sized to the largest trace seen; fetch is a fixed ring.
+	delayed []bool
+	mispred []bool
+	fetch   fetchRing
 }
 
 // New builds a core for cfg.
@@ -56,30 +63,55 @@ func New(cfg Config) (*Core, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	params := circuit.DefaultParams()
-	if cfg.Circuit != nil {
-		params = *cfg.Circuit
-	}
-	c := &Core{cfg: cfg, model: circuit.NewModel(params)}
-
-	c.sb = scoreboard.New(cfg.Scoreboard)
-	c.q = iq.New(cfg.IQ)
-	c.rf = regfile.New()
-	c.bp = predictor.New(cfg.Predictor)
-	mem, err := cache.NewHierarchy(cfg.Hierarchy)
-	if err != nil {
+	c := &Core{cfg: cfg}
+	if err := c.reset(); err != nil {
 		return nil, err
+	}
+	return c, nil
+}
+
+// Reset restores the core to the state New(cfg) would produce — cold
+// caches, empty pipeline, cycle zero — while keeping the core's scratch
+// buffers. Every internal block is rebuilt through the same constructors
+// New uses, so a Reset core is bit-identical to a fresh one; the parallel
+// experiment runner relies on that to reuse one Core per worker across the
+// traces of an operating point.
+func (c *Core) Reset() error { return c.reset() }
+
+func (c *Core) reset() error {
+	params := circuit.DefaultParams()
+	if c.cfg.Circuit != nil {
+		params = *c.cfg.Circuit
+	}
+	c.model = circuit.NewModel(params)
+
+	c.sb = scoreboard.New(c.cfg.Scoreboard)
+	c.q = iq.New(c.cfg.IQ)
+	c.rf = regfile.New()
+	c.bp = predictor.New(c.cfg.Predictor)
+	mem, err := cache.NewHierarchy(c.cfg.Hierarchy)
+	if err != nil {
+		return err
 	}
 	c.mem = mem
 
-	if err := c.applyPlan(cfg.Vcc); err != nil {
-		return nil, err
+	c.regWriteAt = [isa.NumRegs]int64{}
+	c.regBypassVal = [isa.NumRegs]uint64{}
+	c.regBypassTill = [isa.NumRegs]int64{}
+	c.portBusyUntil = 0
+	c.now = 0
+	c.wakes = c.wakes[:0]
+	c.seq = 0
+	c.fetch.clear()
+
+	if err := c.applyPlan(c.cfg.Vcc); err != nil {
+		return err
 	}
-	if cfg.Mode == circuit.ModeFaultyBits ||
-		(cfg.Mode == circuit.ModeIRAW && cfg.CombineFaultyBits) {
+	if c.cfg.Mode == circuit.ModeFaultyBits ||
+		(c.cfg.Mode == circuit.ModeIRAW && c.cfg.CombineFaultyBits) {
 		c.installFaultMaps()
 	}
-	return c, nil
+	return nil
 }
 
 // MustNew is New for static configurations.
@@ -187,6 +219,37 @@ type wake struct {
 	val   uint64
 }
 
+// fbEntry is one fetched-but-not-allocated instruction.
+type fbEntry struct {
+	idx     int
+	readyAt int64
+}
+
+// fetchBufCap models the fetch buffer depth between fetch and allocate.
+const fetchBufCap = 16
+
+// fetchRing is the fixed-capacity fetch buffer. A ring (rather than a
+// reallocated slice) keeps the fetch→allocate path allocation-free.
+type fetchRing struct {
+	buf  [fetchBufCap]fbEntry
+	head int
+	n    int
+}
+
+func (r *fetchRing) clear()          { r.head, r.n = 0, 0 }
+func (r *fetchRing) len() int        { return r.n }
+func (r *fetchRing) front() *fbEntry { return &r.buf[r.head] }
+
+func (r *fetchRing) push(e fbEntry) {
+	r.buf[(r.head+r.n)%fetchBufCap] = e
+	r.n++
+}
+
+func (r *fetchRing) pop() {
+	r.head = (r.head + 1) % fetchBufCap
+	r.n--
+}
+
 // Run simulates tr to completion and reports the result. The core's caches
 // stay warm across calls (deliberately, for the DVFS scenario); use a fresh
 // Core for independent measurements.
@@ -208,15 +271,15 @@ func (c *Core) Run(tr *trace.Trace) (*Result, error) {
 	noopBase := c.q.NOOPsInjected
 
 	var run stats.Run
-	delayed := make([]bool, total)
-	mispred := make([]bool, total)
-
-	type fbEntry struct {
-		idx     int
-		readyAt int64
+	if cap(c.delayed) < total {
+		c.delayed = make([]bool, total)
+		c.mispred = make([]bool, total)
 	}
-	var fetchBuf []fbEntry
-	const fetchBufCap = 16
+	delayed := c.delayed[:total]
+	mispred := c.mispred[:total]
+	clear(delayed)
+	clear(mispred)
+	c.fetch.clear()
 
 	fetchIdx := 0
 	fetchStallUntil := int64(0)
@@ -326,13 +389,13 @@ func (c *Core) Run(tr *trace.Trace) (*Result, error) {
 		// ===== Allocate stage (up to AI per cycle, after issue).
 		allocs := 0
 		if !draining {
-			for allocs < c.cfg.IQ.AI && len(fetchBuf) > 0 && c.q.Free() > 0 {
-				fe := fetchBuf[0]
+			for allocs < c.cfg.IQ.AI && c.fetch.len() > 0 && c.q.Free() > 0 {
+				fe := *c.fetch.front()
 				if fe.readyAt > cycle {
 					break
 				}
 				c.q.Alloc(cycle, uint64(fe.idx))
-				fetchBuf = fetchBuf[1:]
+				c.fetch.pop()
 				allocs++
 				if insts[fe.idx].Op == isa.OpFence {
 					draining = true
@@ -353,7 +416,7 @@ func (c *Core) Run(tr *trace.Trace) (*Result, error) {
 		// ===== Fetch stage.
 		fetched := 0
 		if fetchIdx < total && awaitRedirect < 0 && cycle >= fetchStallUntil {
-			for f := 0; f < c.cfg.Width && fetchIdx < total && len(fetchBuf) < fetchBufCap; f++ {
+			for f := 0; f < c.cfg.Width && fetchIdx < total && c.fetch.len() < fetchBufCap; f++ {
 				in := &insts[fetchIdx]
 				line := in.PC &^ 63
 				if line != lastFetchLine {
@@ -367,7 +430,7 @@ func (c *Core) Run(tr *trace.Trace) (*Result, error) {
 					}
 				}
 				stop := c.predictAtFetch(cycle, fetchIdx, in, mispred, &fetchStallUntil, &awaitRedirect)
-				fetchBuf = append(fetchBuf, fbEntry{fetchIdx, cycle + int64(c.cfg.FrontDepth)})
+				c.fetch.push(fbEntry{fetchIdx, cycle + int64(c.cfg.FrontDepth)})
 				fetchIdx++
 				fetched++
 				if stop {

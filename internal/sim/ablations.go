@@ -1,6 +1,9 @@
 package sim
 
 import (
+	"context"
+	"fmt"
+
 	"lowvcc/internal/circuit"
 	"lowvcc/internal/core"
 	"lowvcc/internal/trace"
@@ -20,38 +23,33 @@ type ReschedResult struct {
 }
 
 // CompilerResched runs the IRAW core on the suite before and after the
-// bubble-aware list scheduler widens producer→consumer distances.
+// bubble-aware list scheduler widens producer→consumer distances. All four
+// points (baseline/IRAW × original/rescheduled) fan out together.
 func CompilerResched(traces []*trace.Trace, v circuit.Millivolts, minGap int) (*ReschedResult, error) {
 	resched := make([]*trace.Trace, len(traces))
 	for i, tr := range traces {
 		resched[i] = workload.Reschedule(tr, minGap)
 	}
-	res := &ReschedResult{Vcc: v}
 
 	baseCfg := core.DefaultConfig(v, circuit.ModeBaseline)
 	irawCfg := core.DefaultConfig(v, circuit.ModeIRAW)
-
-	_, base, err := RunPoint(baseCfg, traces)
+	_, aggs, err := defaultRunner.runPoints(context.Background(), []pointSpec{
+		{label: fmt.Sprintf("resched %v baseline", v), cfg: baseCfg, traces: traces},
+		{label: fmt.Sprintf("resched %v iraw", v), cfg: irawCfg, traces: traces},
+		{label: fmt.Sprintf("resched %v baseline+sched", v), cfg: baseCfg, traces: resched},
+		{label: fmt.Sprintf("resched %v iraw+sched", v), cfg: irawCfg, traces: resched},
+	})
 	if err != nil {
 		return nil, err
 	}
-	_, iraw, err := RunPoint(irawCfg, traces)
-	if err != nil {
-		return nil, err
-	}
-	_, baseR, err := RunPoint(baseCfg, resched)
-	if err != nil {
-		return nil, err
-	}
-	_, irawR, err := RunPoint(irawCfg, resched)
-	if err != nil {
-		return nil, err
-	}
-	res.DelayedBefore = iraw.Run.DelayedFraction()
-	res.DelayedAfter = irawR.Run.DelayedFraction()
-	res.PerfGainBefore = base.Time / iraw.Time
-	res.PerfGainAfter = baseR.Time / irawR.Time
-	return res, nil
+	base, iraw, baseR, irawR := aggs[0], aggs[1], aggs[2], aggs[3]
+	return &ReschedResult{
+		Vcc:            v,
+		DelayedBefore:  iraw.Run.DelayedFraction(),
+		DelayedAfter:   irawR.Run.DelayedFraction(),
+		PerfGainBefore: base.Time / iraw.Time,
+		PerfGainAfter:  baseR.Time / irawR.Time,
+	}, nil
 }
 
 // GateSensitivityRow reports the IQ occupancy-gate ablation at one
@@ -161,24 +159,26 @@ type CombinedFaultyRow struct {
 	DisabledLines    int
 }
 
-// CombinedFaulty measures the combination across the given levels.
+// CombinedFaulty measures the combination across the given levels. All
+// three designs at every level fan out together across the pool.
 func CombinedFaulty(traces []*trace.Trace, levels []circuit.Millivolts) ([]CombinedFaultyRow, error) {
-	rows := make([]CombinedFaultyRow, 0, len(levels))
+	specs := make([]pointSpec, 0, 3*len(levels))
 	for _, v := range levels {
-		_, base, err := RunPoint(core.DefaultConfig(v, circuit.ModeBaseline), traces)
-		if err != nil {
-			return nil, err
-		}
-		_, iraw, err := RunPoint(core.DefaultConfig(v, circuit.ModeIRAW), traces)
-		if err != nil {
-			return nil, err
-		}
-		cfg := core.DefaultConfig(v, circuit.ModeIRAW)
-		cfg.CombineFaultyBits = true
-		_, comb, err := RunPoint(cfg, traces)
-		if err != nil {
-			return nil, err
-		}
+		comb := core.DefaultConfig(v, circuit.ModeIRAW)
+		comb.CombineFaultyBits = true
+		specs = append(specs,
+			pointSpec{label: fmt.Sprintf("combined %v baseline", v), cfg: core.DefaultConfig(v, circuit.ModeBaseline), traces: traces},
+			pointSpec{label: fmt.Sprintf("combined %v iraw", v), cfg: core.DefaultConfig(v, circuit.ModeIRAW), traces: traces},
+			pointSpec{label: fmt.Sprintf("combined %v iraw+faulty", v), cfg: comb, traces: traces},
+		)
+	}
+	_, aggs, err := defaultRunner.runPoints(context.Background(), specs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]CombinedFaultyRow, 0, len(levels))
+	for i, v := range levels {
+		base, iraw, comb := aggs[3*i], aggs[3*i+1], aggs[3*i+2]
 		rows = append(rows, CombinedFaultyRow{
 			Vcc:              v,
 			IRAWFreqGain:     iraw.Plan.FreqGain,

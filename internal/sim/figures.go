@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"lowvcc/internal/circuit"
@@ -341,21 +342,30 @@ type NSweepRow struct {
 
 // NSweep forces N = 1..maxN at v and measures the cost of wider bubbles
 // ("our mechanism would work also for different technology nodes or Vcc
-// ranges where the number of IRAW cycles was larger", Section 5.2).
+// ranges where the number of IRAW cycles was larger", Section 5.2). The
+// baseline and every forced-N point fan out together across the pool.
 func NSweep(traces []*trace.Trace, v circuit.Millivolts, maxN int) ([]NSweepRow, error) {
-	baseCfg := core.DefaultConfig(v, circuit.ModeBaseline)
-	_, base, err := RunPoint(baseCfg, traces)
-	if err != nil {
-		return nil, err
-	}
-	rows := make([]NSweepRow, 0, maxN)
+	specs := make([]pointSpec, 0, maxN+1)
+	specs = append(specs, pointSpec{
+		label: fmt.Sprintf("nsweep %v baseline", v),
+		cfg:   core.DefaultConfig(v, circuit.ModeBaseline), traces: traces,
+	})
 	for n := 1; n <= maxN; n++ {
 		cfg := core.DefaultConfig(v, circuit.ModeIRAW)
 		cfg.ForcedN = n
-		_, agg, err := RunPoint(cfg, traces)
-		if err != nil {
-			return nil, err
-		}
+		specs = append(specs, pointSpec{
+			label: fmt.Sprintf("nsweep %v N=%d", v, n),
+			cfg:   cfg, traces: traces,
+		})
+	}
+	_, aggs, err := defaultRunner.runPoints(context.Background(), specs)
+	if err != nil {
+		return nil, err
+	}
+	base := aggs[0]
+	rows := make([]NSweepRow, 0, maxN)
+	for n := 1; n <= maxN; n++ {
+		agg := aggs[n]
 		rows = append(rows, NSweepRow{
 			N:        n,
 			PerfGain: base.Time / agg.Time,

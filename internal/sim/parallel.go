@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"lowvcc/internal/circuit"
+	"lowvcc/internal/core"
+	"lowvcc/internal/trace"
+)
+
+// pointSpec is one operating point to simulate: a core configuration over
+// an ordered trace list, plus a label for error reporting.
+type pointSpec struct {
+	label  string
+	cfg    core.Config
+	traces []*trace.Trace
+}
+
+// runPoints simulates every (point, trace) cell of specs on the runner's
+// pool and returns, per point, the per-trace results (in trace order) and
+// their aggregate.
+//
+// The fan-out unit is one cell — fresh-core warm-up pass plus measured
+// pass of one trace — so a sweep of M points over T traces exposes M*T
+// independent jobs. Each worker keeps one Core and reuses it via
+// (*core.Core).Reset while consecutive jobs stay on the same point, which
+// removes the per-trace construction cost on large sweeps. Results are
+// merged after the pool drains, in (point, trace-index) order, so the
+// output is bit-identical to the sequential path regardless of worker
+// count or scheduling.
+func (r *Runner) runPoints(ctx context.Context, specs []pointSpec) ([][]*core.Result, []*core.Result, error) {
+	offsets := make([]int, len(specs)+1)
+	for i, s := range specs {
+		offsets[i+1] = offsets[i] + len(s.traces)
+	}
+	n := offsets[len(specs)]
+
+	results := make([][]*core.Result, len(specs))
+	for i, s := range specs {
+		results[i] = make([]*core.Result, len(s.traces))
+	}
+
+	// Worker-local core cache: reused across cells of the same point. The
+	// pool size is resolved exactly once and shared with forEach so the
+	// cache and the pool can never disagree (SetWorkers racing a running
+	// sweep must not index out of range).
+	workers := r.workers(n)
+	type workerCore struct {
+		point int
+		c     *core.Core
+	}
+	cores := make([]workerCore, workers)
+	for i := range cores {
+		cores[i].point = -1
+	}
+
+	err := r.forEach(ctx, workers, n, func(worker, job int) error {
+		// Map the flat job index back to its (point, trace) cell: the
+		// last point whose first cell is at or before job.
+		point := sort.SearchInts(offsets, job+1) - 1
+		spec := &specs[point]
+		tr := spec.traces[job-offsets[point]]
+
+		wc := &cores[worker]
+		if wc.point == point && wc.c != nil {
+			if err := wc.c.Reset(); err != nil {
+				return fmt.Errorf("%s: reset: %w", spec.label, err)
+			}
+		} else {
+			c, err := core.New(spec.cfg)
+			if err != nil {
+				return fmt.Errorf("%s: %w", spec.label, err)
+			}
+			wc.point, wc.c = point, c
+		}
+
+		if _, err := wc.c.Run(tr); err != nil { // warm-up pass
+			return fmt.Errorf("%s: warmup %s: %w", spec.label, tr.Name, err)
+		}
+		res, err := wc.c.Run(tr)
+		if err != nil {
+			return fmt.Errorf("%s: measure %s: %w", spec.label, tr.Name, err)
+		}
+		results[point][job-offsets[point]] = res
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	aggs := make([]*core.Result, len(specs))
+	for i := range specs {
+		aggs[i] = core.MergeResults(results[i])
+	}
+	return results, aggs, nil
+}
+
+// RunPoint simulates every trace at one operating point (fresh core,
+// warm-up pass, measured pass per trace) across the runner's pool and
+// returns the per-trace results plus their aggregate.
+func (r *Runner) RunPoint(ctx context.Context, cfg core.Config, traces []*trace.Trace) ([]*core.Result, *core.Result, error) {
+	results, aggs, err := r.runPoints(ctx, []pointSpec{{label: "point", cfg: cfg, traces: traces}})
+	if err != nil {
+		return nil, nil, err
+	}
+	return results[0], aggs[0], nil
+}
+
+// Sweep runs the suite for each voltage level in each mode on the runner's
+// pool. The result is indexed [mode][voltage].
+func (r *Runner) Sweep(ctx context.Context, traces []*trace.Trace, modes []circuit.Mode, levels []circuit.Millivolts) (map[circuit.Mode]map[circuit.Millivolts]*Point, error) {
+	specs := make([]pointSpec, 0, len(modes)*len(levels))
+	for _, mode := range modes {
+		for _, v := range levels {
+			specs = append(specs, pointSpec{
+				label:  fmt.Sprintf("sweep %v %v", v, mode),
+				cfg:    core.DefaultConfig(v, mode),
+				traces: traces,
+			})
+		}
+	}
+	_, aggs, err := r.runPoints(ctx, specs)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[circuit.Mode]map[circuit.Millivolts]*Point, len(modes))
+	i := 0
+	for _, mode := range modes {
+		out[mode] = make(map[circuit.Millivolts]*Point, len(levels))
+		for _, v := range levels {
+			out[mode][v] = &Point{Vcc: v, Mode: mode, Agg: aggs[i]}
+			i++
+		}
+	}
+	return out, nil
+}

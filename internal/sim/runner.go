@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Runner executes independent simulation jobs across a bounded pool of
+// goroutines. The zero value is ready to use and sizes the pool to
+// runtime.GOMAXPROCS(0).
+//
+// Scheduling never affects results: jobs write into per-index slots and
+// aggregation happens after the pool drains, in a fixed order, so a Runner
+// with one worker and a Runner with N workers produce bit-identical output.
+type Runner struct {
+	// Workers bounds concurrency; <= 0 selects runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+// workers resolves the effective pool size for n jobs.
+func (r *Runner) workers(n int) int {
+	w := r.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// forEach runs fn(worker, i) for every i in [0, n) on a pool of exactly
+// `workers` goroutines (resolve the count once with r.workers(n) and share
+// it with any worker-indexed state — re-resolving could disagree if
+// Workers changes concurrently). worker is the stable index of the
+// executing goroutine in [0, workers), so callers can keep worker-local
+// scratch (the point runner caches one Core per worker). Jobs are handed
+// out in index order.
+//
+// On failure, in-flight jobs finish, unclaimed jobs are abandoned, and the
+// error of the lowest-index failed job is returned — deterministic no
+// matter which worker hit its error first. Context cancellation likewise
+// stops the pool and surfaces ctx.Err().
+func (r *Runner) forEach(ctx context.Context, workers, n int, fn func(worker, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers == 1 {
+		// Inline fast path: no goroutines, same job order.
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(0, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	errs := make([]error, n)
+	var failed atomic.Bool
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				// Check for cancellation before claiming, never after: a
+				// claimed job always runs. Claims are monotonic, so when
+				// job j fails every job below j was claimed earlier and
+				// has recorded its own failure by the time the pool
+				// drains — the lowest-index-error guarantee depends on
+				// claimed jobs never being abandoned.
+				if ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				if err := fn(worker, i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+					cancel()
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if failed.Load() {
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return ctx.Err()
+}

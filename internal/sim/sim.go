@@ -10,10 +10,26 @@
 //   - the energy model is calibrated once per suite on the 600 mV baseline
 //     run, per Section 5.1 ("leakage ... set to 10% of the total energy
 //     consumption at 600mV").
+//
+// Concurrency conventions (the parallel experiment engine):
+//   - a Core is not goroutine-safe: exactly one Core per goroutine. The
+//     Runner's worker pool gives each worker its own Core and reuses it
+//     across traces of the same operating point via (*core.Core).Reset,
+//     which is guaranteed bit-identical to constructing a fresh Core;
+//   - the fan-out unit is one (mode, vcc, trace) cell; cells never share
+//     mutable state, and each writes its *core.Result into its own
+//     pre-indexed slot;
+//   - aggregation is deterministic: per-point merges happen after the pool
+//     drains, always in (mode, vcc, trace-index) order, so parallel output
+//     is bit-identical to sequential output for any worker count;
+//   - the package-level experiment functions (Sweep, RunPoint, the figure
+//     and ablation generators) run on a shared default Runner sized to
+//     GOMAXPROCS; construct a Runner directly for custom worker counts or
+//     context cancellation.
 package sim
 
 import (
-	"fmt"
+	"context"
 
 	"lowvcc/internal/circuit"
 	"lowvcc/internal/core"
@@ -43,25 +59,21 @@ func (s SuiteSpec) Traces() []*trace.Trace {
 	return workload.Suite(s.InstsPerTrace, s.SeedsPerProfile)
 }
 
+// defaultRunner backs the package-level experiment functions: a shared
+// GOMAXPROCS-sized pool. Runner carries no state between calls, so sharing
+// it is free; its determinism guarantee makes the sharing invisible.
+var defaultRunner = &Runner{}
+
+// SetWorkers bounds the default runner's pool to n goroutines; n <= 0
+// restores GOMAXPROCS sizing. Call it at startup (the cmd tools' -workers
+// flag does); it is not synchronized against experiments already running.
+func SetWorkers(n int) { defaultRunner.Workers = n }
+
 // RunPoint simulates every trace at one operating point (warm measurement)
-// and returns the per-trace results plus their aggregate.
+// and returns the per-trace results plus their aggregate. Traces fan out
+// across the default runner's pool; results are in trace order.
 func RunPoint(cfg core.Config, traces []*trace.Trace) ([]*core.Result, *core.Result, error) {
-	results := make([]*core.Result, 0, len(traces))
-	for _, tr := range traces {
-		c, err := core.New(cfg)
-		if err != nil {
-			return nil, nil, err
-		}
-		if _, err := c.Run(tr); err != nil { // warm-up pass
-			return nil, nil, fmt.Errorf("warmup %s: %w", tr.Name, err)
-		}
-		res, err := c.Run(tr)
-		if err != nil {
-			return nil, nil, fmt.Errorf("measure %s: %w", tr.Name, err)
-		}
-		results = append(results, res)
-	}
-	return results, core.MergeResults(results), nil
+	return defaultRunner.RunPoint(context.Background(), cfg, traces)
 }
 
 // Point is one aggregated operating-point measurement.
@@ -71,22 +83,11 @@ type Point struct {
 	Agg  *core.Result
 }
 
-// Sweep runs the suite for each voltage level in each mode.
-// modes maps to rows; the result is indexed [mode][voltage].
+// Sweep runs the suite for each voltage level in each mode, fanning every
+// (mode, voltage, trace) cell across the default runner's pool. modes maps
+// to rows; the result is indexed [mode][voltage].
 func Sweep(traces []*trace.Trace, modes []circuit.Mode, levels []circuit.Millivolts) (map[circuit.Mode]map[circuit.Millivolts]*Point, error) {
-	out := make(map[circuit.Mode]map[circuit.Millivolts]*Point, len(modes))
-	for _, mode := range modes {
-		out[mode] = make(map[circuit.Millivolts]*Point, len(levels))
-		for _, v := range levels {
-			cfg := core.DefaultConfig(v, mode)
-			_, agg, err := RunPoint(cfg, traces)
-			if err != nil {
-				return nil, fmt.Errorf("sweep %v %v: %w", v, mode, err)
-			}
-			out[mode][v] = &Point{Vcc: v, Mode: mode, Agg: agg}
-		}
-	}
-	return out, nil
+	return defaultRunner.Sweep(context.Background(), traces, modes, levels)
 }
 
 // CalibratedEnergy builds an energy model calibrated on the 600 mV baseline

@@ -1,6 +1,10 @@
 package workload
 
-import "lowvcc/internal/trace"
+import (
+	"sync"
+
+	"lowvcc/internal/trace"
+)
 
 // The standard profiles mirror the application classes of the paper's
 // workload ("Spec2006, Spec2000, kernels, multimedia, office, server,
@@ -149,11 +153,27 @@ func Phased(phases []Profile, instsPerPhase int, seed uint64) *trace.Trace {
 	return out
 }
 
-// Suite generates the standard evaluation suite: seedsPerProfile traces of
+// suiteCache memoizes Suite: generation is deterministic in (n,
+// seedsPerProfile), and every figure, benchmark and test materializes the
+// same few sizes, so regenerating the whole suite per call is pure waste.
+var suiteCache sync.Map // suiteKey -> []*trace.Trace
+
+type suiteKey struct{ n, seedsPerProfile int }
+
+// Suite returns the standard evaluation suite: seedsPerProfile traces of
 // n instructions for each paper-aligned profile. The paper uses 531 traces
 // of 10M instructions; the default experiments scale this down while
 // keeping every class represented.
+//
+// Suites are cached per (n, seedsPerProfile): repeated calls return the
+// same shared traces. Callers must treat them as read-only — every
+// consumer in the tree does (the core reads traces, and Reschedule builds
+// new ones); a caller that needs to mutate instructions must copy first.
 func Suite(n, seedsPerProfile int) []*trace.Trace {
+	key := suiteKey{n, seedsPerProfile}
+	if v, ok := suiteCache.Load(key); ok {
+		return v.([]*trace.Trace)
+	}
 	var out []*trace.Trace
 	for pi, p := range Profiles() {
 		for s := 0; s < seedsPerProfile; s++ {
@@ -161,5 +181,11 @@ func Suite(n, seedsPerProfile int) []*trace.Trace {
 			out = append(out, Generate(p, n, seed))
 		}
 	}
-	return out
+	// Clamp capacity so a caller appending to the returned slice copies
+	// instead of writing into the shared backing array. Two racing
+	// generators produce identical suites; keep whichever one published
+	// first so all callers share one copy.
+	out = out[:len(out):len(out)]
+	v, _ := suiteCache.LoadOrStore(key, out)
+	return v.([]*trace.Trace)
 }

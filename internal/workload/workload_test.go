@@ -196,6 +196,33 @@ func TestSuiteShape(t *testing.T) {
 	}
 }
 
+func TestSuiteMemoized(t *testing.T) {
+	a := Suite(500, 1)
+	b := Suite(500, 1)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("suite lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace %d regenerated instead of cached", i)
+		}
+	}
+	if cap(a) != len(a) {
+		t.Fatalf("cached suite has spare capacity (%d > %d): appends would alias the shared backing array", cap(a), len(a))
+	}
+	c := Suite(500, 2)
+	if len(c) == len(a) && c[0] == a[0] {
+		t.Fatal("distinct suite keys share cache entries")
+	}
+	d := Suite(600, 1)
+	if d[0] == a[0] {
+		t.Fatal("distinct instruction counts share cache entries")
+	}
+	if d[0].Len() != 600 {
+		t.Fatalf("cached key collision: got %d insts", d[0].Len())
+	}
+}
+
 func TestValidateRejectsBadProfiles(t *testing.T) {
 	cases := []Profile{
 		{Name: "empty"},

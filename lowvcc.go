@@ -93,8 +93,12 @@ func ServerProfile() Profile      { return workload.Server() }
 func WorkstationProfile() Profile { return workload.Workstation() }
 func MemBoundProfile() Profile    { return workload.MemBound() }
 
-// StandardSuite materializes the evaluation workload: every paper-aligned
+// StandardSuite returns the evaluation workload: every paper-aligned
 // class, seedsPerProfile traces each, n instructions per trace.
+//
+// Suites are memoized per (n, seedsPerProfile) and shared between callers;
+// treat the returned traces as read-only. To build a variant workload,
+// copy a trace (or use GenerateTrace) instead of mutating one in place.
 func StandardSuite(n, seedsPerProfile int) []*Trace {
 	return workload.Suite(n, seedsPerProfile)
 }

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# bench.sh — run the benchmark suite and record the perf trajectory.
+#
+# Emits BENCH_<n>.json in the repo root (n from $BENCH_INDEX, default 1):
+# one object per benchmark with ns/op and every custom metric the
+# benchmark reports (insts/s, perf gains, EDP, ...).
+#
+#   scripts/bench.sh                  # full suite, default time
+#   BENCH_PATTERN=CoreThroughput BENCH_TIME=3s scripts/bench.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+pattern="${BENCH_PATTERN:-.}"
+benchtime="${BENCH_TIME:-1x}"
+index="${BENCH_INDEX:-1}"
+out="BENCH_${index}.json"
+
+raw="$(go test -run '^$' -bench "$pattern" -benchtime "$benchtime" . | tee /dev/stderr)"
+
+awk -v host="$(uname -sm)" '
+BEGIN { print "[" }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    line = sep "  {\"name\": \"" name "\", \"iterations\": " $2
+    for (i = 3; i < NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/"/, "", unit)
+        line = line ", \"" unit "\": " $i
+    }
+    print line "}"
+    sep = ","
+}
+END { print "]" }
+' <<<"$raw" | sed 's/^,/  ,/' >"$out"
+
+echo "wrote $out" >&2
