@@ -15,6 +15,7 @@
 package cache
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"lowvcc/internal/rng"
@@ -82,16 +83,17 @@ type Cache struct {
 	// duplicate request.
 	inflight map[uint64]int64
 	data     *sram.Array
-	// holds are port-busy windows [from, to]: a fill completing at a
-	// future cycle holds the ports only during its stabilization window,
-	// not from the present.
-	holds       []holdWindow
+	// holds tracks port-busy cycles (fill stabilization windows,
+	// Store-Table replays). A fill completing at a future cycle holds the
+	// ports only during its window, not from the present.
+	holds       holdCal
 	n           int  // stabilization cycles (0 = IRAW off)
 	interrupted bool // whether writes are interrupted (IRAW clocking)
 	avoid       bool // whether the fill-stall avoidance policy is active
 	stats       Stats
 
 	lineShift uint
+	tagShift  uint // lineShift + log2(Sets): tag extraction without division
 	setMask   uint64
 }
 
@@ -122,6 +124,10 @@ func New(cfg Config) (*Cache, error) {
 		data:      data,
 	}
 	for c.lineShift = 0; 1<<c.lineShift < cfg.LineBytes; c.lineShift++ {
+	}
+	c.tagShift = c.lineShift
+	for 1<<(c.tagShift-c.lineShift) < cfg.Sets {
+		c.tagShift++
 	}
 	c.setMask = uint64(cfg.Sets - 1)
 	return c, nil
@@ -164,29 +170,96 @@ func (c *Cache) SetOf(addr uint64) int { return int((addr >> c.lineShift) & c.se
 // LineAddr returns the line-aligned address.
 func (c *Cache) LineAddr(addr uint64) uint64 { return addr &^ (uint64(c.cfg.LineBytes) - 1) }
 
-func (c *Cache) tagOf(addr uint64) uint64 { return addr >> c.lineShift / uint64(c.cfg.Sets) }
+func (c *Cache) tagOf(addr uint64) uint64 { return addr >> c.tagShift }
 
 func (c *Cache) entry(set, way int) int { return set*c.cfg.Ways + way }
 
-// holdWindow is one port-busy interval, inclusive on both ends.
-type holdWindow struct{ from, to int64 }
-
-// Busy reports whether the block's ports are held at cycle.
-func (c *Cache) Busy(cycle int64) bool {
-	for _, h := range c.holds {
-		if cycle >= h.from && cycle <= h.to {
-			return true
-		}
-	}
-	return false
-}
-
 // holdHorizon bounds how far back an access's time can trail the newest
 // hold registration: accesses are issued in program order but their times
-// can float ahead by at most a TLB walk plus a memory round trip. Windows
+// can float ahead by at most a TLB walk plus a memory round trip. Holds
 // older than the horizon below the newest registration can never be
-// consulted again and are pruned.
+// consulted again.
 const holdHorizon = 1 << 13
+
+// calBits sizes the hold calendar. The slot ring aliases cycles that are
+// calSize apart; an aliased overwrite is only visible if both marks can
+// still be queried, which the horizon argument rules out as long as
+// calSize >= holdHorizon + the longest window span (spans are a few cycles:
+// stabilization windows and short store replays), with ample slack here.
+const (
+	calBits = 14
+	calSize = 1 << calBits
+	calMask = calSize - 1
+)
+
+// holdCal tracks port-held cycles as a slot calendar: slot c&calMask holds
+// the exact cycle it was marked for, so membership is one compare. This
+// replaces the seed's interval-list scans — Busy was O(live windows) on
+// every issue-stage port check and HoldPorts pruned by rebuilding the list
+// on every fill — with O(1) membership, O(span) registration and O(wait)
+// first-free walks. max is the latest held cycle ever registered: anything
+// beyond it is free without touching the slots (the common case).
+type holdCal struct {
+	slots []int64
+	max   int64
+}
+
+func (h *holdCal) mark(from, to int64) {
+	if h.slots == nil {
+		h.slots = make([]int64, calSize)
+		for i := range h.slots {
+			h.slots[i] = -1 // cycle numbers are non-negative
+		}
+	}
+	for t := from; t <= to; t++ {
+		h.slots[t&calMask] = t
+	}
+	if to > h.max {
+		h.max = to
+	}
+}
+
+func (h *holdCal) busy(cycle int64) bool {
+	return cycle <= h.max && h.slots != nil && h.slots[cycle&calMask] == cycle
+}
+
+// firstFree returns the first cycle >= cycle not held.
+func (h *holdCal) firstFree(cycle int64) int64 {
+	for h.busy(cycle) {
+		cycle++
+	}
+	return cycle
+}
+
+// Busy reports whether the block's ports are held at cycle.
+func (c *Cache) Busy(cycle int64) bool { return c.holds.busy(cycle) }
+
+// NextFree returns the first cycle > cycle at which the block's ports are
+// not held. Unlike WaitPorts it charges nothing: it is the "next event at"
+// hook the event-driven pipeline uses to bound idle-cycle skips (hold
+// windows only ever shrink into the past between accesses, so the returned
+// cycle is exact until the next access registers a new hold).
+func (c *Cache) NextFree(cycle int64) int64 {
+	return c.holds.firstFree(cycle + 1)
+}
+
+// NextHeld returns the first held cycle in (after, before), or before when
+// no hold starts in that gap. Like NextFree it charges nothing. The
+// event-driven pipeline uses it to bound a skip by a hold whose window was
+// registered in the past but opens in the future (a fill completing at a
+// future cycle holds the ports only from then); the scan is bounded by the
+// gap the caller wants to cross.
+func (c *Cache) NextHeld(after, before int64) int64 {
+	if c.holds.max <= after {
+		return before // no hold extends past `after`: the gap is clear
+	}
+	for t := after + 1; t < before; t++ {
+		if c.holds.busy(t) {
+			return t
+		}
+	}
+	return before
+}
 
 // HoldPorts marks the ports busy during [from, to] (a fill's stabilization
 // window or a Store-Table replay).
@@ -194,28 +267,13 @@ func (c *Cache) HoldPorts(from, to int64) {
 	if to < from {
 		return
 	}
-	kept := c.holds[:0]
-	for _, h := range c.holds {
-		if h.to >= from-holdHorizon {
-			kept = append(kept, h)
-		}
-	}
-	c.holds = append(kept, holdWindow{from, to})
+	c.holds.mark(from, to)
 }
 
 // WaitPorts returns the first cycle >= cycle at which the block may be
 // accessed, charging the wait to FillStallCycles.
 func (c *Cache) WaitPorts(cycle int64) int64 {
-	start := cycle
-	for moved := true; moved; {
-		moved = false
-		for _, h := range c.holds {
-			if start >= h.from && start <= h.to {
-				start = h.to + 1
-				moved = true
-			}
-		}
-	}
+	start := c.holds.firstFree(cycle)
 	if start > cycle {
 		c.stats.FillStallCycles += uint64(start - cycle)
 	}
@@ -414,20 +472,9 @@ func (c *Cache) TotalBits() int {
 	return entries*(tagBits+stateBits) + c.cfg.Sets*c.cfg.Ways*c.cfg.LineBytes*8
 }
 
-func beUint64(b []byte) uint64 {
-	var v uint64
-	for i := 0; i < 8; i++ {
-		v = v<<8 | uint64(b[i])
-	}
-	return v
-}
+func beUint64(b []byte) uint64 { return binary.BigEndian.Uint64(b) }
 
-func bePutUint64(b []byte, v uint64) {
-	for i := 7; i >= 0; i-- {
-		b[i] = byte(v)
-		v >>= 8
-	}
-}
+func bePutUint64(b []byte, v uint64) { binary.BigEndian.PutUint64(b, v) }
 
 // Buffer models a small fully associative buffer (fill buffers, WCB/EB)
 // whose entries are held for a duration: the structures the paper lists
@@ -437,7 +484,7 @@ func bePutUint64(b []byte, v uint64) {
 type Buffer struct {
 	name        string
 	freeAt      []int64
-	holds       []holdWindow
+	holds       holdCal
 	n           int
 	interrupted bool
 	avoid       bool
@@ -476,15 +523,7 @@ func (b *Buffer) Reserve(cycle int64) int64 {
 	}
 	start := cycle
 	if b.avoid {
-		for moved := true; moved; {
-			moved = false
-			for _, h := range b.holds {
-				if start >= h.from && start <= h.to {
-					start = h.to + 1
-					moved = true
-				}
-			}
-		}
+		start = b.holds.firstFree(cycle)
 		if start > cycle {
 			b.FillStallCycles += uint64(start - cycle)
 		}
@@ -513,13 +552,7 @@ func (b *Buffer) Commit(start, until int64) {
 	b.reserved = -1
 	b.Allocs++
 	if b.interrupted && b.avoid && b.n > 0 {
-		kept := b.holds[:0]
-		for _, h := range b.holds {
-			if h.to >= start-holdHorizon {
-				kept = append(kept, h)
-			}
-		}
-		b.holds = append(kept, holdWindow{start + 1, start + int64(b.n)})
+		b.holds.mark(start+1, start+int64(b.n))
 	}
 }
 

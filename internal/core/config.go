@@ -8,6 +8,48 @@
 // reports cycle counts, stall attribution, violation counters and the
 // activity census for the energy model. The DVFS reconfiguration of
 // Section 4.1.3/4.2/4.4 is exercised via Reconfigure.
+//
+// # The event-driven engine
+//
+// Run models a strictly cycle-stepped pipeline but executes event-driven;
+// its Results are bit-identical to stepping every cycle (held together by
+// a recorded-golden test and an equivalence fuzz against the noSkip
+// stepped mode). Three mechanisms carry the loop:
+//
+//   - Timing wheel (wheel.go). Deferred events — long-latency completion
+//     heads-ups and pipelined register-file writes — live in a 64-bucket
+//     wheel indexed by due-cycle mod 64, replacing the seed engine's
+//     per-cycle linear scan over all pending events. Dispatch touches only
+//     the current bucket; far-future events wait in place across laps.
+//
+//   - Lazy scoreboard (internal/scoreboard). Registers store their
+//     initialization patterns plus an issue stamp instead of physically
+//     shifting every cycle; views are computed from the elapsed cycle
+//     count, and AdvanceTo moves time in one jump. NextChange exposes the
+//     next self-inflicted readiness flip — the event-driven loop's bound
+//     for how far it may skip while an instruction waits on a register.
+//
+//   - Idle-cycle skipping. When a cycle ends with nothing issued,
+//     allocated, fetched or injected, the pipeline state is frozen until
+//     an external time arrives: the next wheel event, the fetch-stall
+//     expiry, the front of the fetch buffer maturing, a scoreboard flip or
+//     a port-hold release for the blocked head instruction (issueRetryAt
+//     mirrors tryIssue's exact check order to find it). The loop jumps
+//     there directly. Attribution is preserved because the jump target is
+//     the minimum over every time at which the stall reason could change,
+//     so the skipped cycles are credited to the same IssueHist/IssueStalls
+//     /FetchHist counters the stepped loop would have recorded, in the
+//     same amounts. Cycles whose stall charges per-cycle side effects
+//     (the IQ occupancy gate, Extra-Bypass write-port contention) are
+//     never skipped. A blocked-head memo extends the same reasoning to
+//     busy cycles: while fetch/allocate progress but the IQ head stays
+//     blocked and no wake dispatches, the issue stage reuses the recorded
+//     verdict instead of re-deriving it.
+//
+// The IQ needs no "next event" hook (its gate depends only on occupancy,
+// which only pipeline actions change), and neither does the predictor (its
+// RSB stalls are already routed through the fetch-stall time); the caches
+// expose NextFree for the port-hold windows the issue stage polls.
 package core
 
 import (

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"lowvcc/internal/cache"
 	"lowvcc/internal/circuit"
@@ -38,17 +39,28 @@ type Core struct {
 	// Extra-Bypass write-port FIFO state.
 	portBusyUntil int64
 
+	// bypassLvl and writePipe cache cfg.Scoreboard.BypassLevels and
+	// plan.WritePipelineCycles for the per-issue hot path (refreshed by
+	// applyPlan).
+	bypassLvl int64
+	writePipe int64
+
 	// now is the core's clock. It never resets: every absolute stamp in
 	// the hierarchy (fill completions, stabilization windows, buffer
 	// occupancy) lives on this timeline, so back-to-back runs on one core
 	// (warm-up passes, DVFS phases) stay consistent.
 	now int64
 
-	// wakes carries deferred events (long-latency completions, pending RF
-	// writes) across cycles and across runs.
-	wakes []wake
+	// wheel carries deferred events (long-latency completions, pending RF
+	// writes) across cycles and across runs, bucketed by due-cycle.
+	wheel wheel
 
 	seq uint64 // value generator: each producer writes its sequence number
+
+	// noSkip forces strict cycle stepping (idle-cycle skipping disabled).
+	// Test hook: the equivalence fuzz drives both engines over the same
+	// inputs and asserts bit-identical Results.
+	noSkip bool
 
 	// Per-run scratch, owned by the core so back-to-back Run calls (and
 	// Reset-reused cores) allocate nothing on the hot path. delayed and
@@ -100,7 +112,7 @@ func (c *Core) reset() error {
 	c.regBypassTill = [isa.NumRegs]int64{}
 	c.portBusyUntil = 0
 	c.now = 0
-	c.wakes = c.wakes[:0]
+	c.wheel.clear()
 	c.seq = 0
 	c.fetch.clear()
 
@@ -172,6 +184,8 @@ func (c *Core) applyPlan(v circuit.Millivolts) error {
 		MemCycles:   memCycles,
 	})
 	c.rf.SetWritePipeline(c.plan.WritePipelineCycles)
+	c.bypassLvl = int64(c.cfg.Scoreboard.BypassLevels)
+	c.writePipe = int64(c.plan.WritePipelineCycles)
 	return nil
 }
 
@@ -204,19 +218,21 @@ func (c *Core) installFaultMaps() {
 }
 
 // wakeKind distinguishes deferred events.
-type wakeKind int
+type wakeKind uint8
 
 const (
 	wakeLong    wakeKind = iota // long-latency completion heads-up
 	wakeRFWrite                 // physical register-file write
 )
 
+// wake is one deferred event; fields are ordered to pack into 32 bytes
+// (events are copied on every wheel push and dispatch).
 type wake struct {
 	at    int64
-	kind  wakeKind
-	reg   isa.Reg
 	avail int64 // cycle the value becomes available (wakeLong)
 	val   uint64
+	kind  wakeKind
+	reg   isa.Reg
 }
 
 // fbEntry is one fetched-but-not-allocated instruction.
@@ -250,9 +266,65 @@ func (r *fetchRing) pop() {
 	r.n--
 }
 
+// dispatchWakes handles every deferred event due this cycle: long-latency
+// heads-ups re-arm the scoreboard and schedule the pipelined RF write;
+// RF-write events land the value in the physical register file. Same-cycle
+// events commute (they touch disjoint per-register and per-block state), so
+// bucket order is free. A handler may push into the wheel — including this
+// very bucket — which is safe: pushed events are always strictly in the
+// future and the due-cycle filter skips them.
+func (c *Core) dispatchWakes(cycle int64) (dispatched bool) {
+	bypass, writePipe := c.bypassLvl, c.writePipe
+	if c.wheel.occ>>(uint(cycle)&wheelMask)&1 == 0 {
+		return false
+	}
+	b := c.wheel.bucket(cycle)
+	for i := 0; i < len(*b); {
+		w := (*b)[i]
+		if w.at != cycle {
+			i++ // a future lap's event sharing this bucket
+			continue
+		}
+		dispatched = true
+		(*b)[i] = (*b)[len(*b)-1]
+		*b = (*b)[:len(*b)-1]
+		c.wheel.pending--
+		switch w.kind {
+		case wakeLong:
+			remaining := int(w.avail - cycle)
+			if remaining < 1 {
+				remaining = 1
+			}
+			c.sb.CompleteLongLatency(w.reg, remaining)
+			c.regWriteAt[w.reg] = w.avail + bypass
+			// The bypass network serves consumers issuing strictly
+			// before the RF write lands (through w-1 for single-cycle
+			// writes; Extra-Bypass extends it across the pipelined
+			// write).
+			c.regBypassTill[w.reg] = w.avail + bypass + writePipe - 2
+			c.regBypassVal[w.reg] = w.val
+			c.wheel.push(wake{at: w.avail + bypass, kind: wakeRFWrite, reg: w.reg, val: w.val})
+		case wakeRFWrite:
+			c.rf.Write(w.at, w.reg, w.val)
+		}
+	}
+	if dispatched {
+		c.wheel.noteDrained(cycle)
+	}
+	return dispatched
+}
+
 // Run simulates tr to completion and reports the result. The core's caches
 // stay warm across calls (deliberately, for the DVFS scenario); use a fresh
 // Core for independent measurements.
+//
+// The loop is event-driven: deferred completions dispatch from a timing
+// wheel, the scoreboard is lazy (time advances in one jump), and cycles in
+// which no pipeline stage can make progress are skipped in bulk to the next
+// interesting time — see the package documentation for the skip conditions
+// and why stall attribution is preserved. Results are bit-identical to
+// strict cycle stepping (golden + fuzz equivalence tests hold the engines
+// together).
 func (c *Core) Run(tr *trace.Trace) (*Result, error) {
 	insts := tr.Insts
 	total := len(insts)
@@ -297,8 +369,17 @@ func (c *Core) Run(tr *trace.Trace) (*Result, error) {
 	}
 	maxCycles += startCycle
 
-	bypass := int64(c.cfg.Scoreboard.BypassLevels)
-	writePipe := int64(c.plan.WritePipelineCycles)
+	// Blocked-head memo: when the IQ head failed to issue, nothing can
+	// change its verdict (or the stall attribution) before the earliest of
+	// a wheel event and its issueRetryAt time — the head entry itself can
+	// only change through a pop, which the blockage prevents, and allocs
+	// only grow occupancy, which keeps MayIssue true. While the memo holds,
+	// the issue stage collapses to reusing the recorded attribution; any
+	// dispatched wake invalidates it (completions move scoreboard state).
+	memoValid := false
+	var memoUntil int64
+	var memoStall stats.StallKind
+	var memoBlocked *trace.Inst
 
 	for issuedTotal < total {
 		cycle++
@@ -307,75 +388,63 @@ func (c *Core) Run(tr *trace.Trace) (*Result, error) {
 				cycle, issuedTotal, total, c.q.Occupancy())
 		}
 
-		c.sb.Shift()
-
-		// Deferred events due this cycle.
-		for i := 0; i < len(c.wakes); {
-			w := c.wakes[i]
-			if w.at != cycle {
-				i++
-				continue
-			}
-			switch w.kind {
-			case wakeLong:
-				remaining := int(w.avail - cycle)
-				if remaining < 1 {
-					remaining = 1
-				}
-				c.sb.CompleteLongLatency(w.reg, remaining)
-				c.regWriteAt[w.reg] = w.avail + bypass
-				// The bypass network serves consumers issuing strictly
-				// before the RF write lands (through w-1 for single-cycle
-				// writes; Extra-Bypass extends it across the pipelined
-				// write).
-				c.regBypassTill[w.reg] = w.avail + bypass + writePipe - 2
-				c.regBypassVal[w.reg] = w.val
-				c.wakes = append(c.wakes, wake{at: w.avail + bypass, kind: wakeRFWrite, reg: w.reg, val: w.val})
-			case wakeRFWrite:
-				c.rf.Write(w.at, w.reg, w.val)
-			}
-			c.wakes[i] = c.wakes[len(c.wakes)-1]
-			c.wakes = c.wakes[:len(c.wakes)-1]
+		c.sb.AdvanceTo(cycle)
+		if c.dispatchWakes(cycle) {
+			memoValid = false
 		}
 
 		// ===== Issue stage (reads IQ entries before this cycle's allocs).
 		issued := 0
 		memIssued := false
 		stall := stats.StallNone
-		for issued < c.cfg.Width {
-			if c.q.Occupancy() == 0 {
-				if issued == 0 && issuedTotal < total {
-					stall = stats.StallFetchEmpty
+		var blocked *trace.Inst // head instruction a failed tryIssue left behind
+		var blockedRetry int64  // earliest cycle its verdict can change (valid with blocked)
+		if memoValid && cycle < memoUntil {
+			stall = memoStall
+			blocked = memoBlocked
+			blockedRetry = memoUntil
+		} else {
+			memoValid = false
+			for issued < c.cfg.Width {
+				if c.q.Occupancy() == 0 {
+					if issued == 0 && issuedTotal < total {
+						stall = stats.StallFetchEmpty
+					}
+					break
 				}
-				break
-			}
-			if !c.q.MayIssue() {
-				if issued == 0 && c.q.GateBlocked() {
-					stall = stats.StallIQGate
-					c.q.NoteGateStall()
+				if !c.q.MayIssue() {
+					if issued == 0 && c.q.GateBlocked() {
+						stall = stats.StallIQGate
+						c.q.NoteGateStall()
+					}
+					break
 				}
-				break
-			}
-			e := c.q.Oldest(0)
-			if e.NOOP {
+				e := c.q.Oldest(0)
+				if e.NOOP {
+					c.q.PopOldest()
+					run.IssuedNOOPs++
+					issued++
+					continue
+				}
+				idx := int(e.Payload)
+				reason, ok := c.tryIssue(cycle, idx, &insts[idx], &memIssued, mispred, delayed, &run, &fetchStallUntil, &awaitRedirect)
+				if !ok {
+					if issued == 0 {
+						stall = reason
+						blocked = &insts[idx]
+						blockedRetry = c.issueRetryAt(cycle, blocked)
+						if !c.noSkip { // keep the stepped reference engine truly stepped
+							memoValid, memoUntil, memoStall, memoBlocked = true, blockedRetry, stall, blocked
+						}
+					}
+					break
+				}
 				c.q.PopOldest()
-				run.IssuedNOOPs++
 				issued++
-				continue
-			}
-			idx := int(e.Payload)
-			reason, ok := c.tryIssue(cycle, idx, &insts[idx], &memIssued, mispred, delayed, &run, &c.wakes, &fetchStallUntil, &awaitRedirect)
-			if !ok {
-				if issued == 0 {
-					stall = reason
+				issuedTotal++
+				if insts[idx].Op == isa.OpFence {
+					draining = false
 				}
-				break
-			}
-			c.q.PopOldest()
-			issued++
-			issuedTotal++
-			if insts[idx].Op == isa.OpFence {
-				draining = false
 			}
 		}
 		if issued > 2 {
@@ -409,8 +478,9 @@ func (c *Core) Run(tr *trace.Trace) (*Result, error) {
 		// front-end would keep allocating (wrong-path) instructions; the
 		// NOOPs stand in for them so the gate cannot starve stable
 		// instructions indefinitely.
+		injected := 0
 		if allocs == 0 && c.q.GateBlocked() {
-			c.q.InjectNOOPs(cycle)
+			injected = c.q.InjectNOOPs(cycle)
 		}
 
 		// ===== Fetch stage.
@@ -442,6 +512,47 @@ func (c *Core) Run(tr *trace.Trace) (*Result, error) {
 			fetched = 2
 		}
 		run.FetchHist[fetched]++
+
+		// ===== Idle-cycle skip. When every stage came up empty the pipeline
+		// state is frozen until an external time arrives: the next wheel
+		// event, a fetch-stall expiry, a fetch-buffer entry maturing, or a
+		// scoreboard/port-hold transition for the blocked head instruction.
+		// Jump there, crediting the skipped cycles to the same histogram and
+		// stall-attribution counters the stepped loop would have recorded
+		// (the attribution is constant across the gap by construction: every
+		// time at which it could change bounds the jump).
+		//
+		// Gate-blocked cycles are excluded: they charge the IQ gate-stall
+		// counter per cycle and (when the queue is full) must spin to the
+		// watchdog exactly as the stepped engine does. Structural write-port
+		// stalls are excluded inside issueRetryAt (they charge per-cycle
+		// port contention).
+		if issued == 0 && allocs == 0 && injected == 0 && fetched == 0 &&
+			stall != stats.StallIQGate && !c.noSkip {
+			next := c.wheel.nextAfter(cycle)
+			if blocked != nil && blockedRetry < next {
+				next = blockedRetry
+			}
+			if !draining && c.fetch.len() > 0 && c.q.Free() > 0 {
+				if fe := c.fetch.front(); fe.readyAt > cycle && fe.readyAt < next {
+					next = fe.readyAt
+				}
+			}
+			if fetchIdx < total && awaitRedirect < 0 && fetchStallUntil > cycle && fetchStallUntil < next {
+				next = fetchStallUntil
+			}
+			if next > maxCycles+1 {
+				next = maxCycles + 1 // a genuine deadlock still trips the watchdog
+			}
+			if k := next - cycle - 1; k > 0 {
+				run.IssueHist[0] += uint64(k)
+				if stall != stats.StallNone {
+					run.IssueStalls[stall] += uint64(k)
+				}
+				run.FetchHist[0] += uint64(k)
+				cycle += k
+			}
+		}
 	}
 
 	c.now = cycle
@@ -489,7 +600,7 @@ func (c *Core) predictAtFetch(cycle int64, idx int, in *trace.Inst, mispred []bo
 // tryIssue attempts to issue one instruction at cycle; on failure it
 // returns the stall attribution.
 func (c *Core) tryIssue(cycle int64, idx int, in *trace.Inst, memIssued *bool,
-	mispred, delayed []bool, run *stats.Run, wakes *[]wake,
+	mispred, delayed []bool, run *stats.Run,
 	fetchStallUntil *int64, awaitRedirect *int) (stats.StallKind, bool) {
 
 	// Source readiness (the scoreboard's shift registers).
@@ -533,10 +644,8 @@ func (c *Core) tryIssue(cycle int64, idx int, in *trace.Inst, memIssued *bool,
 	}
 	// Extra-Bypass write-port FIFO.
 	lat := int64(isa.Latency(in.Op))
-	bypass := int64(c.cfg.Scoreboard.BypassLevels)
-	writePipe := int64(c.plan.WritePipelineCycles)
-	if in.Dst != isa.RegNone && writePipe > 1 {
-		w := cycle + lat + bypass
+	if in.Dst != isa.RegNone && c.writePipe > 1 {
+		w := cycle + lat + c.bypassLvl
 		if w <= c.portBusyUntil {
 			c.rf.NotePortContention(c.portBusyUntil + 1 - w)
 			return stats.StallStructural, false
@@ -554,13 +663,13 @@ func (c *Core) tryIssue(cycle int64, idx int, in *trace.Inst, memIssued *bool,
 	case in.Op == isa.OpLoad:
 		res := c.mem.Load(cycle, in.Addr)
 		avail := res.ReadyCycle + lat
-		c.produce(cycle, in.Dst, avail, wakes)
+		c.produce(cycle, in.Dst, avail)
 	case in.Op == isa.OpStore:
 		c.seq++
 		c.mem.CommitStore(cycle, in.Addr, c.seq)
 	case isa.LongLatency(in.Op):
 		avail := cycle + lat
-		c.produceLong(cycle, in.Dst, avail, wakes)
+		c.produceLong(cycle, in.Dst, avail)
 	case in.Op == isa.OpBranch:
 		c.bp.UpdateBranch(cycle, in.PC, in.Taken, mispred[idx])
 		if mispred[idx] {
@@ -573,29 +682,90 @@ func (c *Core) tryIssue(cycle int64, idx int, in *trace.Inst, memIssued *bool,
 			*awaitRedirect = -1
 		}
 	case in.Dst != isa.RegNone:
-		c.produce(cycle, in.Dst, cycle+lat, wakes)
+		c.produce(cycle, in.Dst, cycle+lat)
 	}
 	return stats.StallNone, true
 }
 
+// issueRetryAt mirrors tryIssue's check sequence — with no side effects —
+// and returns the earliest cycle after `cycle` at which the blocked head
+// instruction's issue decision, or its stall attribution, could change by
+// the passage of time alone. Wheel events (long-latency completions, RF
+// writes) are bounded separately by the caller.
+//
+// Two subtleties keep the skip exact:
+//
+//   - every register tryIssue consulted bounds the jump, including sources
+//     that passed: read readiness is not monotone (the stabilization bubble
+//     follows the bypass window), so a passing source can block later and
+//     change the attribution;
+//   - a failing Extra-Bypass write-port check charges the RF
+//     port-contention counter with a per-cycle-varying amount, so those
+//     cycles must step singly (return cycle+1).
+func (c *Core) issueRetryAt(cycle int64, in *trace.Inst) int64 {
+	next := int64(math.MaxInt64)
+	add := func(t int64) {
+		if t > cycle && t < next {
+			next = t
+		}
+	}
+	for _, src := range [2]isa.Reg{in.Src1, in.Src2} {
+		if src == isa.RegNone {
+			continue
+		}
+		add(c.sb.NextChange(src))
+		if !c.sb.ReadReady(src) {
+			return next // the blocking source: later checks are not reached
+		}
+	}
+	if in.Dst != isa.RegNone && !c.sb.WriteReady(in.Dst) {
+		add(c.sb.NextChange(in.Dst))
+		return next
+	}
+	// A passing write view stays passing (no bubble, monotone) until a new
+	// producer issues — no candidate needed for the destination.
+	if isa.IsMem(in.Op) {
+		// memIssued is always false here (nothing issued this cycle).
+		if c.mem.DL0.Busy(cycle) {
+			// NextFree never jumps a free gap (it walks the contiguous busy
+			// run), so every skipped cycle stays DL0-busy: attribution holds.
+			add(c.mem.DL0.NextFree(cycle))
+			return next
+		}
+		if c.mem.DTLB.Busy(cycle) {
+			// The skip must not outrun a DL0 hold opening mid-gap: fill
+			// windows are registered at miss time for future cycles, and
+			// tryIssue checks DL0 before the DTLB, so the stepped engine
+			// would re-attribute the stall the cycle DL0 turns busy.
+			add(c.mem.DL0.NextHeld(cycle, c.mem.DTLB.NextFree(cycle)))
+			return next
+		}
+		// New holds are only registered by accesses, and no access can
+		// happen during an idle gap: both ports stay free.
+	}
+	// Only the Extra-Bypass write-port FIFO can have rejected the issue;
+	// its contention accounting is per-cycle, so do not skip.
+	return cycle + 1
+}
+
 // produce registers a producer whose value is available at `avail`,
 // choosing the short (shift-register) or long-latency path.
-func (c *Core) produce(cycle int64, dst isa.Reg, avail int64, wakes *[]wake) {
+func (c *Core) produce(cycle int64, dst isa.Reg, avail int64) {
 	if dst == isa.RegNone {
 		return
 	}
 	c.seq++
 	val := c.seq
 	lat := int(avail - cycle)
-	bypass := int64(c.cfg.Scoreboard.BypassLevels)
-	writePipe := int64(c.plan.WritePipelineCycles)
+	bypass := c.bypassLvl
+	writePipe := c.writePipe
 	w := avail + bypass
 	if lat <= c.sb.MaxShortLatency() {
 		c.sb.IssueProducer(dst, lat)
 		c.regWriteAt[dst] = w
 		c.regBypassTill[dst] = w + writePipe - 2
 		c.regBypassVal[dst] = val
-		*wakes = append(*wakes, wake{at: w, kind: wakeRFWrite, reg: dst, val: val})
+		c.wheel.push(wake{at: w, kind: wakeRFWrite, reg: dst, val: val})
 	} else {
 		c.sb.BeginLongLatency(dst)
 		c.regWriteAt[dst] = int64(1) << 60 // unknown until the heads-up
@@ -603,7 +773,7 @@ func (c *Core) produce(cycle int64, dst isa.Reg, avail int64, wakes *[]wake) {
 		if headsUp <= cycle {
 			headsUp = cycle + 1
 		}
-		*wakes = append(*wakes, wake{at: headsUp, kind: wakeLong, reg: dst, avail: avail, val: val})
+		c.wheel.push(wake{at: headsUp, kind: wakeLong, reg: dst, avail: avail, val: val})
 	}
 	if writePipe > 1 {
 		c.portBusyUntil = w + writePipe - 1
@@ -611,8 +781,8 @@ func (c *Core) produce(cycle int64, dst isa.Reg, avail int64, wakes *[]wake) {
 }
 
 // produceLong is produce for always-long ops (dividers).
-func (c *Core) produceLong(cycle int64, dst isa.Reg, avail int64, wakes *[]wake) {
-	c.produce(cycle, dst, avail, wakes)
+func (c *Core) produceLong(cycle int64, dst isa.Reg, avail int64) {
+	c.produce(cycle, dst, avail)
 }
 
 // readSources models the register reads of an issuing instruction: through

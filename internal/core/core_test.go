@@ -360,3 +360,28 @@ func TestCombinedIRAWFaultyBits(t *testing.T) {
 		t.Error("no fault maps in combined mode")
 	}
 }
+
+// TestIssueRetryBoundedByFutureDL0Hold pins the skip bound for the
+// overlapping-hold corner: a mem op blocked on a busy DTLB must not be
+// retried past the onset of a DL0 hold window that was registered in the
+// past for a future cycle — tryIssue checks the DL0 first, so the stepped
+// engine re-attributes the stall (StallOtherIRAW -> StallDL0IRAW) the
+// cycle that window opens, and a skip crossing it would diverge.
+func TestIssueRetryBoundedByFutureDL0Hold(t *testing.T) {
+	c := MustNew(DefaultConfig(500, circuit.ModeIRAW))
+	const cycle = int64(100)
+	c.mem.DTLB.HoldPorts(cycle, cycle+5)
+	in := &trace.Inst{Op: isa.OpLoad, Src1: isa.RegNone, Src2: isa.RegNone, Dst: isa.RegNone}
+
+	if got := c.issueRetryAt(cycle, in); got != cycle+6 {
+		t.Fatalf("clear DL0: retry = %d, want DTLB free time %d", got, cycle+6)
+	}
+	c.mem.DL0.HoldPorts(cycle+2, cycle+4) // future onset inside the DTLB run
+	if got := c.issueRetryAt(cycle, in); got != cycle+2 {
+		t.Fatalf("future DL0 hold: retry = %d, want its onset %d", got, cycle+2)
+	}
+	// DL0 busy right now: the retry walks only the contiguous busy run.
+	if got := c.issueRetryAt(cycle+2, in); got != cycle+5 {
+		t.Fatalf("DL0 busy: retry = %d, want first DL0-free cycle %d", got, cycle+5)
+	}
+}

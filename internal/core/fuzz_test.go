@@ -1,6 +1,7 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 
 	"lowvcc/internal/circuit"
@@ -62,6 +63,94 @@ func TestRandomizedConfigsNeverDeadlockOrCorrupt(t *testing.T) {
 		if res2.CorruptConsumed != 0 || res2.IntegrityErrors != 0 {
 			t.Fatalf("iter %d warm rerun: corrupt=%d integ=%d",
 				i, res2.CorruptConsumed, res2.IntegrityErrors)
+		}
+	}
+}
+
+// TestSkipEngineMatchesSteppedEngine fuzzes the event-driven fast paths —
+// the timing wheel, the lazy scoreboard and, above all, idle-cycle skipping
+// — against strict cycle stepping: the same randomized (profile, voltage,
+// mode, N) points run through both engine variants and every Result field
+// (cycles, stall histograms, violation counters, cache/BP statistics) must
+// be bit-identical, cold and warm.
+func TestSkipEngineMatchesSteppedEngine(t *testing.T) {
+	src := rng.New(0xBEEFCAFE)
+	profiles := append(workload.Profiles(), workload.MemBound())
+	levels := circuit.Levels()
+	modes := []circuit.Mode{circuit.ModeBaseline, circuit.ModeIRAW,
+		circuit.ModeFaultyBits, circuit.ModeExtraBypass}
+	iters := 30
+	if testing.Short() {
+		iters = 8
+	}
+	for i := 0; i < iters; i++ {
+		p := profiles[src.Intn(len(profiles))]
+		v := levels[src.Intn(len(levels))]
+		mode := modes[src.Intn(len(modes))]
+		insts := 1500 + src.Intn(3000)
+
+		cfg := DefaultConfig(v, mode)
+		if mode == circuit.ModeIRAW {
+			switch src.Intn(4) {
+			case 0:
+				cfg.ForcedN = 1 + src.Intn(3)
+			case 1:
+				cfg.CombineFaultyBits = true
+			case 2:
+				cfg.DisableAvoidance = true
+			}
+		}
+		tr := workload.Generate(p, insts, uint64(i)+1234)
+
+		fast := MustNew(cfg)
+		slow := MustNew(cfg)
+		slow.noSkip = true
+		for pass := 0; pass < 2; pass++ {
+			fr, err := fast.Run(tr)
+			if err != nil {
+				t.Fatalf("iter %d pass %d (%s %v %v): skip engine: %v", i, pass, p.Name, v, mode, err)
+			}
+			sr, err := slow.Run(tr)
+			if err != nil {
+				t.Fatalf("iter %d pass %d (%s %v %v): stepped engine: %v", i, pass, p.Name, v, mode, err)
+			}
+			if !reflect.DeepEqual(fr, sr) {
+				t.Fatalf("iter %d pass %d (%s %v %v N=%d): engines diverge\nskip:    %+v\nstepped: %+v",
+					i, pass, p.Name, v, mode, cfg.ForcedN, fr, sr)
+			}
+		}
+	}
+}
+
+// TestSkipEquivalenceUnderHoldPressure targets the overlapping-port-hold
+// attribution corner: a TLB-hostile, store-heavy workload at high N makes
+// DTLB walk-fill holds coincide with DL0 fill windows registered for
+// future cycles, which is exactly where a skip bounded only by the
+// DTLB-free time would misattribute StallDL0IRAW cycles as StallOtherIRAW.
+func TestSkipEquivalenceUnderHoldPressure(t *testing.T) {
+	p := workload.MemBound()
+	p.Load, p.Store = 0.35, 0.30 // store-heavy: constant DL0 fill traffic
+	p.DataWorkingSet = 256 << 20 // thrash both TLBs
+	for _, forcedN := range []int{2, 4} {
+		for seed := uint64(0); seed < 4; seed++ {
+			cfg := DefaultConfig(400, circuit.ModeIRAW)
+			cfg.ForcedN = forcedN
+			tr := workload.Generate(p, 4000, seed+500)
+			fast := MustNew(cfg)
+			slow := MustNew(cfg)
+			slow.noSkip = true
+			fr, err := fast.Run(tr)
+			if err != nil {
+				t.Fatalf("N=%d seed %d: skip engine: %v", forcedN, seed, err)
+			}
+			sr, err := slow.Run(tr)
+			if err != nil {
+				t.Fatalf("N=%d seed %d: stepped engine: %v", forcedN, seed, err)
+			}
+			if !reflect.DeepEqual(fr, sr) {
+				t.Fatalf("N=%d seed %d: engines diverge\nskip stalls:    %v\nstepped stalls: %v",
+					forcedN, seed, fr.Run.IssueStalls, sr.Run.IssueStalls)
+			}
 		}
 	}
 }

@@ -13,6 +13,7 @@
 package regfile
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"lowvcc/internal/isa"
@@ -114,9 +115,7 @@ func (f *File) Write(cycle int64, r isa.Reg, value uint64) {
 		f.portFreeAt = cycle + int64(f.writePipeCycles) - 1
 	}
 	var buf [8]byte
-	for i := 7; i >= 0; i-- {
-		buf[i] = byte(value >> (8 * (7 - uint(i))))
-	}
+	binary.BigEndian.PutUint64(buf[:], value)
 	f.arr.Write(cycle, int(r), buf[:], f.interrupted, f.n)
 	f.values[r] = value
 	f.stats.Writes++
@@ -136,8 +135,8 @@ func (f *File) Read(cycle int64, r isa.Reg) (value uint64, ok bool) {
 	}
 	raw, ok := f.arr.Read(cycle, int(r))
 	f.stats.Reads++
-	for _, b := range raw {
-		value = value<<8 | uint64(b)
+	if raw != nil {
+		value = binary.BigEndian.Uint64(raw)
 	}
 	if !ok {
 		f.stats.ViolationReads++

@@ -1,6 +1,7 @@
 package scoreboard
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -260,6 +261,86 @@ func TestShiftInvariantOnesTail(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestAdvanceToMatchesShift: the bulk clock advance must be exactly
+// equivalent to repeated Shifts — every view, at every register, at every
+// elapsed time.
+func TestAdvanceToMatchesShift(t *testing.T) {
+	mk := func() *Scoreboard {
+		sb := New(DefaultConfig())
+		sb.SetStabilizeCycles(1)
+		sb.IssueProducer(isa.Reg(0), 3)
+		sb.IssueProducer(isa.Reg(1), 7)
+		sb.BeginLongLatency(isa.Reg(2))
+		return sb
+	}
+	stepped := mk()
+	for k := 1; k <= 20; k++ {
+		stepped.Shift()
+		jumped := mk()
+		jumped.AdvanceTo(int64(k))
+		for r := 0; r < 4; r++ {
+			reg := isa.Reg(r)
+			if stepped.ReadReady(reg) != jumped.ReadReady(reg) ||
+				stepped.WriteReady(reg) != jumped.WriteReady(reg) ||
+				stepped.IRAWBlocked(reg) != jumped.IRAWBlocked(reg) ||
+				stepped.ReadView(reg) != jumped.ReadView(reg) {
+				t.Fatalf("k=%d r%d: AdvanceTo diverges from Shift (views %012b vs %012b)",
+					k, r, stepped.ReadView(reg), jumped.ReadView(reg))
+			}
+		}
+	}
+}
+
+// TestNextChangeIsExact property-checks NextChange against brute force: for
+// every (latency, N, elapsed) it must name exactly the next cycle at which
+// ReadReady, WriteReady or IRAWBlocked changes, and MaxInt64 only when no
+// view ever flips again.
+func TestNextChangeIsExact(t *testing.T) {
+	const r = isa.Reg(0)
+	for n := 0; n <= 4; n++ {
+		sb := New(DefaultConfig())
+		sb.SetStabilizeCycles(n)
+		for lat := 1; lat <= sb.MaxShortLatency(); lat++ {
+			sb.Flush()
+			base := sb.Now()
+			sb.IssueProducer(r, lat)
+			for k := 0; k <= sb.Config().Bits+3; k++ {
+				got := sb.NextChange(r)
+				// Brute force: probe a clone forward until a view flips.
+				probe := New(DefaultConfig())
+				probe.SetStabilizeCycles(n)
+				probe.IssueProducer(r, lat)
+				probe.AdvanceTo(int64(k))
+				r0, w0 := probe.ReadReady(r), probe.WriteReady(r)
+				want := int64(math.MaxInt64)
+				for j := k + 1; j <= 2*sb.Config().Bits+4; j++ {
+					probe.AdvanceTo(int64(j))
+					if probe.ReadReady(r) != r0 || probe.WriteReady(r) != w0 {
+						want = base + int64(j)
+						break
+					}
+				}
+				if got != want {
+					t.Fatalf("N=%d lat=%d k=%d: NextChange=%d want %d", n, lat, k, got, want)
+				}
+				sb.Shift()
+			}
+		}
+	}
+}
+
+// TestNextChangeLongPending: event-completed registers have no self-change.
+func TestNextChangeLongPending(t *testing.T) {
+	sb := newSB(t, 1)
+	sb.BeginLongLatency(isa.Reg(4))
+	if got := sb.NextChange(isa.Reg(4)); got != math.MaxInt64 {
+		t.Fatalf("NextChange(long-pending) = %d, want MaxInt64", got)
+	}
+	if got := sb.NextChange(isa.RegNone); got != math.MaxInt64 {
+		t.Fatalf("NextChange(RegNone) = %d, want MaxInt64", got)
 	}
 }
 

@@ -62,10 +62,12 @@ type GateSensitivityRow struct {
 }
 
 // GateSensitivity sweeps the IQ issue/allocation widths at v, showing how
-// the occupancy threshold ICI + AI*N scales the gate's cost.
+// the occupancy threshold ICI + AI*N scales the gate's cost. All four
+// configurations fan out together through one runPoints call, so the pool
+// never drains between points.
 func GateSensitivity(traces []*trace.Trace, v circuit.Millivolts) ([]GateSensitivityRow, error) {
 	configs := []struct{ ici, ai int }{{2, 2}, {2, 4}, {4, 2}, {4, 4}}
-	rows := make([]GateSensitivityRow, 0, len(configs))
+	specs := make([]pointSpec, 0, len(configs))
 	for _, cc := range configs {
 		cfg := core.DefaultConfig(v, circuit.ModeIRAW)
 		cfg.IQ.ICI = cc.ici
@@ -73,10 +75,18 @@ func GateSensitivity(traces []*trace.Trace, v circuit.Millivolts) ([]GateSensiti
 		if cfg.Width > cc.ici {
 			cfg.Width = cc.ici
 		}
-		_, agg, err := RunPoint(cfg, traces)
-		if err != nil {
-			return nil, err
-		}
+		specs = append(specs, pointSpec{
+			label: fmt.Sprintf("gate %v ici=%d ai=%d", v, cc.ici, cc.ai),
+			cfg:   cfg, traces: traces,
+		})
+	}
+	_, aggs, err := defaultRunner.runPoints(context.Background(), specs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]GateSensitivityRow, 0, len(configs))
+	for i, cc := range configs {
+		agg := aggs[i]
 		n := agg.Plan.StabilizeCycles
 		rows = append(rows, GateSensitivityRow{
 			ICI: cc.ici, AI: cc.ai,
@@ -97,19 +107,29 @@ type STableSizingRow struct {
 	ReplayCycles   uint64
 }
 
-// STableSizing varies the table's commit width provisioning at v.
+// STableSizing varies the table's commit width provisioning at v. The
+// three sizings fan out together through one runPoints call.
 func STableSizing(traces []*trace.Trace, v circuit.Millivolts) ([]STableSizingRow, error) {
-	rows := make([]STableSizingRow, 0, 3)
-	for _, spc := range []int{1, 2, 4} {
+	widths := []int{1, 2, 4}
+	specs := make([]pointSpec, 0, len(widths))
+	for _, spc := range widths {
 		cfg := core.DefaultConfig(v, circuit.ModeIRAW)
 		cfg.Hierarchy.StoresPerCycle = spc
-		_, agg, err := RunPoint(cfg, traces)
-		if err != nil {
-			return nil, err
-		}
+		specs = append(specs, pointSpec{
+			label: fmt.Sprintf("stable %v spc=%d", v, spc),
+			cfg:   cfg, traces: traces,
+		})
+	}
+	_, aggs, err := defaultRunner.runPoints(context.Background(), specs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]STableSizingRow, 0, len(widths))
+	for i, spc := range widths {
+		agg := aggs[i]
 		rows = append(rows, STableSizingRow{
 			StoresPerCycle: spc,
-			Entries:        spc * (cfg.Hierarchy.MaxStabilize + 1),
+			Entries:        spc * (specs[i].cfg.Hierarchy.MaxStabilize + 1),
 			IPC:            agg.IPC(),
 			Forwards:       agg.Mem.STableForwards,
 			ReplayCycles:   agg.Mem.DL0ReplayStallCycles,
@@ -127,18 +147,20 @@ type DeterminismResult struct {
 	DeterministicPotentialCorrupts uint64
 }
 
-// DeterminismMode measures the cost of the deterministic RSB variant.
+// DeterminismMode measures the cost of the deterministic RSB variant. Both
+// variants fan out together through one runPoints call.
 func DeterminismMode(traces []*trace.Trace, v circuit.Millivolts) (*DeterminismResult, error) {
-	cfg := core.DefaultConfig(v, circuit.ModeIRAW)
-	_, def, err := RunPoint(cfg, traces)
+	defCfg := core.DefaultConfig(v, circuit.ModeIRAW)
+	detCfg := core.DefaultConfig(v, circuit.ModeIRAW)
+	detCfg.Predictor.Deterministic = true
+	_, aggs, err := defaultRunner.runPoints(context.Background(), []pointSpec{
+		{label: fmt.Sprintf("determinism %v default", v), cfg: defCfg, traces: traces},
+		{label: fmt.Sprintf("determinism %v deterministic", v), cfg: detCfg, traces: traces},
+	})
 	if err != nil {
 		return nil, err
 	}
-	cfg.Predictor.Deterministic = true
-	_, det, err := RunPoint(cfg, traces)
-	if err != nil {
-		return nil, err
-	}
+	def, det := aggs[0], aggs[1]
 	return &DeterminismResult{
 		DefaultIPC:                     def.IPC(),
 		DeterministicIPC:               det.IPC(),

@@ -382,19 +382,21 @@ type ValidationResult struct {
 	UnsafeViolations, UnsafeCorrupt uint64
 }
 
-// Validate runs the safety experiment at v.
+// Validate runs the safety experiment at v. The safe and unsafe variants
+// fan out together through one runPoints call, so the pool never drains
+// between them.
 func Validate(traces []*trace.Trace, v circuit.Millivolts) (*ValidationResult, error) {
 	safeCfg := core.DefaultConfig(v, circuit.ModeIRAW)
-	_, safe, err := RunPoint(safeCfg, traces)
-	if err != nil {
-		return nil, err
-	}
 	unsafeCfg := core.DefaultConfig(v, circuit.ModeIRAW)
 	unsafeCfg.DisableAvoidance = true
-	_, uns, err := RunPoint(unsafeCfg, traces)
+	_, aggs, err := defaultRunner.runPoints(context.Background(), []pointSpec{
+		{label: fmt.Sprintf("validate %v safe", v), cfg: safeCfg, traces: traces},
+		{label: fmt.Sprintf("validate %v unsafe", v), cfg: unsafeCfg, traces: traces},
+	})
 	if err != nil {
 		return nil, err
 	}
+	safe, uns := aggs[0], aggs[1]
 	return &ValidationResult{
 		SafeCorrupt:      safe.CorruptConsumed,
 		SafeIntegrity:    safe.IntegrityErrors,

@@ -67,7 +67,12 @@ type Array struct {
 	// corrupt marks entries destroyed by an IRAW violation; their data has
 	// been scrambled and stays scrambled until rewritten.
 	corrupt []bool
-	stats   Stats
+	// maxReady is an upper bound on every entry's ready stamp: reads at or
+	// beyond it cannot hit a stabilizing entry anywhere in the array, so
+	// the violation/collateral scan is skipped (the overwhelmingly common
+	// case outside stabilization windows).
+	maxReady int64
+	stats    Stats
 
 	readsThisCycle, writesThisCycle int
 	portCycle                       int64
@@ -138,7 +143,7 @@ func (a *Array) slot(entry int) []byte {
 // location were still stabilizing, correctness is guaranteed because data
 // are not read but updated".
 func (a *Array) Write(cycle int64, entry int, data []byte, interrupted bool, stabilizeCycles int) bool {
-	a.checkEntry(entry)
+	// entry is bounds-checked by the slice accesses below (hot path).
 	if len(data) != a.cfg.BytesPerEntry {
 		panic(fmt.Sprintf("sram %q: write of %d bytes into %d-byte entry", a.cfg.Name, len(data), a.cfg.BytesPerEntry))
 	}
@@ -161,6 +166,9 @@ func (a *Array) Write(cycle int64, entry int, data []byte, interrupted bool, sta
 		a.ready[entry] = cycle + 1 + int64(stabilizeCycles)
 	} else {
 		a.ready[entry] = cycle + 1
+	}
+	if a.ready[entry] > a.maxReady {
+		a.maxReady = a.ready[entry]
 	}
 	a.stats.Writes++
 	return true
@@ -186,7 +194,7 @@ func (a *Array) scramble(entry int) {
 // A nil return with ok=false (and no counter movement beyond PortConflicts)
 // means no read port was free.
 func (a *Array) Read(cycle int64, entry int) (data []byte, ok bool) {
-	a.checkEntry(entry)
+	// entry is bounds-checked by the slice accesses below (hot path).
 	a.rollPorts(cycle)
 	if a.cfg.ReadPorts > 0 && a.readsThisCycle >= a.cfg.ReadPorts {
 		a.stats.PortConflicts++
@@ -194,6 +202,13 @@ func (a *Array) Read(cycle int64, entry int) (data []byte, ok bool) {
 	}
 	a.readsThisCycle++
 	a.stats.Reads++
+
+	if cycle >= a.maxReady {
+		// Nothing in the array is stabilizing: the read is clean unless the
+		// entry still carries an earlier violation's scramble, and no
+		// co-resident entry can be destroyed.
+		return a.slot(entry), !a.corrupt[entry]
+	}
 
 	violated := false
 	if a.stabilizing(cycle, entry) {

@@ -1,6 +1,9 @@
 package workload
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"lowvcc/internal/isa"
 	"lowvcc/internal/trace"
 )
@@ -22,10 +25,55 @@ import (
 // behind its producer, so clearing an N-cycle bubble after L+bypass cycles
 // needs d > W*(L+bypass+N): 8 works well for the modelled 2-wide core
 // (smaller gaps can land consumers exactly on the bubble cycle).
+//
+// Results are memoized per (trace identity, minGap) — the same keyed-cache
+// pattern as workload.Suite — because the scheduler is pure and the
+// compiler-assistance experiments reschedule the same shared suite traces
+// on every call. Cached traces are shared: callers must treat them (and
+// the input) as read-only, as all consumers in the tree do.
 func Reschedule(tr *trace.Trace, minGap int) *trace.Trace {
 	if minGap < 1 {
 		minGap = 1
 	}
+	key := reschedKey{tr, minGap}
+	if v, ok := reschedCache.Load(key); ok {
+		return v.(*trace.Trace)
+	}
+	out := reschedule(tr, minGap)
+	if reschedCacheLen.Load() >= reschedCacheCap {
+		// Past the bound, serve uncached rather than retain forever: the
+		// cache targets the shared long-lived suite traces, not callers
+		// feeding a stream of fresh ones.
+		return out
+	}
+	// Two racing schedulers produce identical traces; keep whichever one
+	// published first so all callers share one copy.
+	v, loaded := reschedCache.LoadOrStore(key, out)
+	if !loaded {
+		reschedCacheLen.Add(1)
+	}
+	return v.(*trace.Trace)
+}
+
+// reschedCache memoizes Reschedule. Keys hold the input trace pointer:
+// experiment traces are themselves shared and long-lived (Suite's cache),
+// so pointer identity is exactly "same trace". reschedCacheCap bounds
+// retention — entries pin both the input and output traces, so an
+// unbounded map would leak if a caller ever rescheduled a stream of fresh
+// traces.
+var (
+	reschedCache    sync.Map // reschedKey -> *trace.Trace
+	reschedCacheLen atomic.Int64
+)
+
+const reschedCacheCap = 256
+
+type reschedKey struct {
+	tr     *trace.Trace
+	minGap int
+}
+
+func reschedule(tr *trace.Trace, minGap int) *trace.Trace {
 	out := &trace.Trace{Name: tr.Name + "-resched", Insts: make([]trace.Inst, 0, len(tr.Insts))}
 	block := make([]trace.Inst, 0, 64)
 	flush := func() {

@@ -109,3 +109,25 @@ func TestRescheduleValid(t *testing.T) {
 		}
 	}
 }
+
+// TestRescheduleMemoized: repeated calls with the same (trace, minGap)
+// return the same shared trace; different gaps or traces do not alias.
+func TestRescheduleMemoized(t *testing.T) {
+	tr := Generate(SpecInt(), 2000, 77)
+	a := Reschedule(tr, 8)
+	b := Reschedule(tr, 8)
+	if a != b {
+		t.Fatal("same (trace, minGap) not served from the cache")
+	}
+	if c := Reschedule(tr, 4); c == a {
+		t.Fatal("different minGap aliased to the same cached trace")
+	}
+	other := Generate(SpecInt(), 2000, 78)
+	if d := Reschedule(other, 8); d == a {
+		t.Fatal("different trace aliased to the same cached trace")
+	}
+	// Normalized gaps share an entry (minGap < 1 clamps to 1).
+	if Reschedule(tr, 0) != Reschedule(tr, 1) {
+		t.Fatal("clamped minGap not canonicalized in the cache key")
+	}
+}

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# bench_check.sh — guard against core-throughput regressions.
+#
+# Runs BenchmarkCoreThroughput and compares insts/s against the highest-
+# numbered committed BENCH_<n>.json. Fails when the measured rate drops
+# more than the allowed fraction below the recorded one (default 20%,
+# override with BENCH_TOLERANCE, e.g. BENCH_TOLERANCE=0.3).
+#
+#   scripts/bench_check.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+tolerance="${BENCH_TOLERANCE:-0.20}"
+
+ref_file="$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1 || true)"
+if [[ -z "$ref_file" ]]; then
+    echo "bench_check: no committed BENCH_*.json to compare against" >&2
+    exit 1
+fi
+
+ref="$(sed -n 's/.*"BenchmarkCoreThroughput".*"insts\/s": \([0-9.e+]*\).*/\1/p' "$ref_file")"
+if [[ -z "$ref" ]]; then
+    echo "bench_check: $ref_file has no BenchmarkCoreThroughput insts/s" >&2
+    exit 1
+fi
+
+# Best of three: single-iteration benchmark runs are noisy and this guard
+# must only fire on real regressions.
+best=0
+for _ in 1 2 3; do
+    cur="$(go test -run '^$' -bench '^BenchmarkCoreThroughput$' -benchtime 5x . |
+        awk '/^BenchmarkCoreThroughput/ { for (i = 1; i < NF; i++) if ($(i+1) == "insts/s") print $i }')"
+    if [[ -z "$cur" ]]; then
+        echo "bench_check: benchmark produced no insts/s metric" >&2
+        exit 1
+    fi
+    best="$(awk -v a="$best" -v b="$cur" 'BEGIN { print (b > a) ? b : a }')"
+done
+
+echo "bench_check: reference $ref insts/s ($ref_file), measured $best insts/s (best of 3)"
+awk -v ref="$ref" -v cur="$best" -v tol="$tolerance" 'BEGIN {
+    floor = ref * (1 - tol)
+    if (cur < floor) {
+        printf "bench_check: FAIL — %.0f insts/s is below the %.0f floor (ref %.0f, tolerance %.0f%%)\n",
+            cur, floor, ref, tol * 100
+        exit 1
+    }
+    printf "bench_check: OK — within %.0f%% of reference\n", tol * 100
+}'
