@@ -10,7 +10,9 @@
 package lowvcc_test
 
 import (
+	"context"
 	"testing"
+	"time"
 
 	"lowvcc/internal/circuit"
 	"lowvcc/internal/core"
@@ -217,6 +219,39 @@ func BenchmarkCompilerResched(b *testing.B) {
 	}
 	b.ReportMetric(100*res.DelayedBefore, "delayed-before-%")
 	b.ReportMetric(100*res.DelayedAfter, "delayed-after-%")
+}
+
+// BenchmarkShardedLongTrace measures the sharded long-trace path: a
+// one-point sweep over a single long production-style trace, unsharded
+// (whole-trace warm-up + measured pass, the serialization ROADMAP called
+// out) versus sharded into 8 sample windows at 8 workers. Sharding wins
+// even on one CPU — each window runs one pass over its warm-up prefix plus
+// span instead of two full passes — and parallel machines additionally
+// overlap the windows. The speedup ratio is the acceptance metric recorded
+// in BENCH_3.json.
+func BenchmarkShardedLongTrace(b *testing.B) {
+	tr := workload.LongTrace(700000, 11)
+	cfg := core.DefaultConfig(500, circuit.ModeIRAW)
+	ctx := context.Background()
+	var unsharded, sharded time.Duration
+	for i := 0; i < b.N; i++ {
+		r := &sim.Runner{Workers: 8}
+		t0 := time.Now()
+		if _, _, err := r.RunPoint(ctx, cfg, []*trace.Trace{tr}); err != nil {
+			b.Fatal(err)
+		}
+		unsharded += time.Since(t0)
+		rs := (&sim.Runner{Workers: 8}).WithWindow(len(tr.Insts)/8, len(tr.Insts)/128)
+		t1 := time.Now()
+		if _, _, err := rs.RunPoint(ctx, cfg, []*trace.Trace{tr}); err != nil {
+			b.Fatal(err)
+		}
+		sharded += time.Since(t1)
+	}
+	b.ReportMetric(unsharded.Seconds()/float64(b.N), "unsharded-s")
+	b.ReportMetric(sharded.Seconds()/float64(b.N), "sharded-s")
+	b.ReportMetric(unsharded.Seconds()/sharded.Seconds(), "sharded-speedup")
+	b.ReportMetric(float64(len(tr.Insts))*float64(b.N)/sharded.Seconds(), "sharded-insts/s")
 }
 
 // BenchmarkCoreThroughput measures raw simulator speed (instructions

@@ -24,9 +24,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"lowvcc/internal/circuit"
 	"lowvcc/internal/report"
@@ -41,8 +43,24 @@ func main() {
 	mv := flag.Int("mv", 575, "voltage for the breakdown statistic")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	workers := flag.Int("workers", 0, "simulation worker goroutines (0 = GOMAXPROCS)")
+	window := flag.Int("window", 0, "shard traces into sample windows of this many instructions (0 = off)")
+	warm := flag.Int("warm", 0, "warm-up prefix per sample window (0 = window/4)")
+	timeout := flag.Duration("timeout", 0, "per-point wall-clock budget (0 = none)")
+	progress := flag.Bool("progress", false, "print per-point progress lines to stderr as grid cells complete")
 	flag.Parse()
 	sim.SetWorkers(*workers)
+	sim.SetWindow(*window, *warm)
+	sim.SetPointTimeout(*timeout)
+	if *progress {
+		start := time.Now()
+		sim.SetProgress(func(u sim.PointUpdate) {
+			if u.Err != nil {
+				return
+			}
+			fmt.Fprintf(os.Stderr, "figures: [%6.2fs] %3d/%d %s %s (%d window(s))\n",
+				time.Since(start).Seconds(), u.Done, u.Total, u.Label, u.TraceName, u.Windows)
+		})
+	}
 
 	spec := sim.SuiteSpec{InstsPerTrace: *insts, SeedsPerProfile: *seeds}
 	g := &gen{csv: *csv, spec: spec, breakdownMV: circuit.Millivolts(*mv)}
@@ -123,17 +141,33 @@ func (g *gen) fig11a() error {
 	return g.emit(t)
 }
 
+// fig11b renders Figure 11(b) progressively: each voltage's row prints the
+// moment both designs at that level finish simulating, so the figure
+// starts appearing long before the full (mode x voltage x trace) grid
+// completes.
 func (g *gen) fig11b() error {
-	rows, err := sim.Figure11b(g.suite())
+	t, err := report.NewStreamTable(os.Stdout, g.csv,
+		"Figure 11(b): IRAW frequency increase and performance gains",
+		"Vcc", "freq-gain", "perf-gain", "ipc-base", "ipc-iraw", "stall-cost")
 	if err != nil {
 		return err
 	}
-	t := report.NewTable("Figure 11(b): IRAW frequency increase and performance gains",
-		"Vcc", "freq-gain", "perf-gain", "ipc-base", "ipc-iraw", "stall-cost")
-	for _, r := range rows {
-		t.AddRow(r.Vcc, r.FreqGain, r.PerfGain, r.IPCBase, r.IPCIRAW, report.Pct(r.StallCost))
+	var rowErr error
+	_, err = sim.Figure11bStream(context.Background(), g.suite(), func(r sim.Fig11bRow) {
+		if e := t.AddRow(r.Vcc, r.FreqGain, r.PerfGain, r.IPCBase, r.IPCIRAW, report.Pct(r.StallCost)); e != nil && rowErr == nil {
+			rowErr = e
+		}
+	})
+	if err != nil {
+		return err
 	}
-	return g.emit(t)
+	if rowErr != nil {
+		return rowErr
+	}
+	if !g.csv {
+		fmt.Println()
+	}
+	return nil
 }
 
 func (g *gen) fig12() error {

@@ -1,16 +1,21 @@
 // Command vccsweep sweeps the full voltage range for one or more designs
 // and prints the frequency/performance/EDP series (the data behind
-// Figures 11 and 12).
+// Figures 11 and 12). Rows render progressively: each voltage's line is
+// written the moment every design at that level has finished simulating,
+// while the rest of the grid is still running.
 //
 //	vccsweep -insts 60000 -seeds 2
 //	vccsweep -modes baseline,iraw,faultybits
+//	vccsweep -insts 500000 -window 50000 -progress   # sharded long traces
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"lowvcc/internal/circuit"
 	"lowvcc/internal/report"
@@ -23,8 +28,24 @@ func main() {
 	modesFlag := flag.String("modes", "baseline,iraw", "comma-separated designs to sweep")
 	csv := flag.Bool("csv", false, "emit CSV")
 	workers := flag.Int("workers", 0, "simulation worker goroutines (0 = GOMAXPROCS)")
+	window := flag.Int("window", 0, "shard traces into sample windows of this many instructions (0 = off)")
+	warm := flag.Int("warm", 0, "warm-up prefix per sample window (0 = window/4)")
+	timeout := flag.Duration("timeout", 0, "per-point wall-clock budget (0 = none)")
+	progress := flag.Bool("progress", false, "print per-point progress lines to stderr")
 	flag.Parse()
 	sim.SetWorkers(*workers)
+	sim.SetWindow(*window, *warm)
+	sim.SetPointTimeout(*timeout)
+	if *progress {
+		start := time.Now()
+		sim.SetProgress(func(u sim.PointUpdate) {
+			if u.Err != nil {
+				return
+			}
+			fmt.Fprintf(os.Stderr, "vccsweep: [%6.2fs] %3d/%d %s %s (%d window(s))\n",
+				time.Since(start).Seconds(), u.Done, u.Total, u.Label, u.TraceName, u.Windows)
+		})
+	}
 
 	if err := run(*insts, *seeds, *modesFlag, *csv); err != nil {
 		fmt.Fprintln(os.Stderr, "vccsweep:", err)
@@ -49,25 +70,27 @@ func run(insts, seeds int, modesFlag string, csv bool) error {
 		}
 	}
 	traces := sim.SuiteSpec{InstsPerTrace: insts, SeedsPerProfile: seeds}.Traces()
-	sweep, err := sim.Sweep(traces, modes, circuit.Levels())
-	if err != nil {
-		return err
-	}
+	levels := circuit.Levels()
+
 	header := []string{"Vcc"}
 	for _, m := range modes {
 		header = append(header, m.String()+"-ipc", m.String()+"-time", m.String()+"-freqgain")
 	}
-	t := report.NewTable("Vcc sweep (time in phase-at-700mV units)", header...)
-	for _, v := range circuit.Levels() {
-		row := []interface{}{v}
-		for _, m := range modes {
-			p := sweep[m][v].Agg
-			row = append(row, p.IPC(), fmt.Sprintf("%.0f", p.Time), p.Plan.FreqGain)
-		}
-		t.AddRow(row...)
+	t, err := report.NewStreamTable(os.Stdout, csv, "Vcc sweep (time in phase-at-700mV units)", header...)
+	if err != nil {
+		return err
 	}
-	if csv {
-		return t.RenderCSV(os.Stdout)
-	}
-	return t.Render(os.Stdout)
+
+	// Collect the streaming sweep, rendering each voltage's row as soon as
+	// every requested design at that level has landed (rows stay in
+	// voltage order: a finished level waits for slower earlier levels).
+	return sim.StreamLevels(context.Background(), traces, modes, levels,
+		func(v circuit.Millivolts, pts map[circuit.Mode]*sim.Point) error {
+			row := []interface{}{v}
+			for _, m := range modes {
+				p := pts[m].Agg
+				row = append(row, p.IPC(), fmt.Sprintf("%.0f", p.Time), p.Plan.FreqGain)
+			}
+			return t.AddRow(row...)
+		})
 }

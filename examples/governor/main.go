@@ -9,6 +9,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -20,6 +21,10 @@ import (
 )
 
 func main() {
+	workers := flag.Int("workers", 0, "simulation worker goroutines (0 = GOMAXPROCS)")
+	flag.Parse()
+	sim.SetWorkers(*workers)
+
 	// --- Offline planning over measured points -------------------------
 	traces := lowvcc.StandardSuite(15000, 1)
 	model, err := sim.CalibratedEnergy(traces)

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -17,6 +18,10 @@ import (
 )
 
 func main() {
+	workers := flag.Int("workers", 0, "simulation worker goroutines (0 = GOMAXPROCS)")
+	flag.Parse()
+	sim.SetWorkers(*workers)
+
 	traces := lowvcc.StandardSuite(30000, 1)
 	res, err := sim.Table1(traces, 500)
 	if err != nil {

@@ -5,35 +5,49 @@
 // as the memory-bound fraction grows — the faster clock just waits more
 // cycles for the same nanoseconds of DRAM. It also surfaces the Store
 // Table at work: forwards and store replays on the store-heavy stream.
+//
+// All six (design, workload) cells fan out across the experiment pool
+// (-workers bounds it); per-trace results come back in workload order.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
 	"lowvcc"
+	"lowvcc/internal/sim"
 )
 
 func main() {
+	workers := flag.Int("workers", 0, "simulation worker goroutines (0 = GOMAXPROCS)")
+	flag.Parse()
+	sim.SetWorkers(*workers)
+
 	const vcc = lowvcc.Millivolts(450)
 	workloads := []lowvcc.Profile{
 		lowvcc.SpecIntProfile(),
 		lowvcc.WorkstationProfile(),
 		lowvcc.MemBoundProfile(),
 	}
+	traces := make([]*lowvcc.Trace, len(workloads))
+	for i, p := range workloads {
+		traces[i] = lowvcc.GenerateTrace(p, 60000, 9)
+	}
+	bases, _, err := sim.RunPoint(lowvcc.DefaultConfig(vcc, lowvcc.ModeBaseline), traces)
+	if err != nil {
+		log.Fatal(err)
+	}
+	iraws, _, err := sim.RunPoint(lowvcc.DefaultConfig(vcc, lowvcc.ModeIRAW), traces)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Printf("at %v (frequency gain %.2fx):\n\n", vcc,
 		lowvcc.DelayModel().FreqGain(vcc))
 	fmt.Println("workload     UL1-missrate  mem-stall  speedup  STable-fwd  replays")
-	for _, p := range workloads {
-		tr := lowvcc.GenerateTrace(p, 60000, 9)
-		base, err := lowvcc.RunWarm(lowvcc.DefaultConfig(vcc, lowvcc.ModeBaseline), tr)
-		if err != nil {
-			log.Fatal(err)
-		}
-		iraw, err := lowvcc.RunWarm(lowvcc.DefaultConfig(vcc, lowvcc.ModeIRAW), tr)
-		if err != nil {
-			log.Fatal(err)
-		}
+	for i, p := range workloads {
+		base, iraw := bases[i], iraws[i]
 		missRate := 0.0
 		if iraw.UL1.Accesses > 0 {
 			missRate = float64(iraw.UL1.Misses) / float64(iraw.UL1.Accesses)

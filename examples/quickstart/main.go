@@ -2,27 +2,38 @@
 // same workload on both, and report the paper's headline effect — the
 // frequency boost from interrupting SRAM writes turns into end-to-end
 // speedup despite the avoidance stalls.
+//
+// Both operating points fan out together across the experiment pool
+// (-workers bounds it) — the same parallel path every sweep uses, with the
+// same warm-up + measure methodology RunWarm applies.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
 	"lowvcc"
+	"lowvcc/internal/circuit"
+	"lowvcc/internal/sim"
 )
 
 func main() {
+	workers := flag.Int("workers", 0, "simulation worker goroutines (0 = GOMAXPROCS)")
+	flag.Parse()
+	sim.SetWorkers(*workers)
+
 	tr := lowvcc.GenerateTrace(lowvcc.SpecIntProfile(), 100000, 1)
 
 	const vcc = lowvcc.Millivolts(500)
-	base, err := lowvcc.RunWarm(lowvcc.DefaultConfig(vcc, lowvcc.ModeBaseline), tr)
+	sweep, err := sim.Sweep([]*lowvcc.Trace{tr},
+		[]circuit.Mode{lowvcc.ModeBaseline, lowvcc.ModeIRAW},
+		[]circuit.Millivolts{vcc})
 	if err != nil {
 		log.Fatal(err)
 	}
-	iraw, err := lowvcc.RunWarm(lowvcc.DefaultConfig(vcc, lowvcc.ModeIRAW), tr)
-	if err != nil {
-		log.Fatal(err)
-	}
+	base := sweep[lowvcc.ModeBaseline][vcc].Agg
+	iraw := sweep[lowvcc.ModeIRAW][vcc].Agg
 
 	fmt.Printf("workload: %s (%d instructions) at %v\n", tr.Name, tr.Len(), vcc)
 	fmt.Printf("baseline: cycle %.3f a.u., IPC %.3f, time %.0f\n",

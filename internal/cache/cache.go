@@ -299,6 +299,41 @@ func (c *Cache) Lookup(cycle int64, addr uint64) (way int, hit bool) {
 	return 0, false
 }
 
+// LookupAt probes one specific way — a memoized earlier hit — instead of
+// scanning the set. On a match it performs exactly a Lookup hit's side
+// effects (access/hit counters, LRU touch) and returns true; on any
+// mismatch it returns false with NO side effects, so the caller can fall
+// back to the full Lookup without double-counting. The hierarchy's
+// per-page TLB translation memo is the intended caller.
+func (c *Cache) LookupAt(cycle int64, addr uint64, way int) bool {
+	if way < 0 || way >= c.cfg.Ways {
+		return false
+	}
+	set := c.SetOf(addr)
+	tag := c.tagOf(addr)
+	e := c.entry(set, way)
+	if !c.valid[e] || c.disabled[e] || c.tags[e] != tag || cycle < c.validFrom[e] {
+		return false
+	}
+	// Scan-order guard: Lookup hits the lowest matching readable way, and
+	// duplicate tags are transiently possible (a line can be refilled into
+	// a second way while its first fill is not yet readable). If an
+	// earlier way also matches, the memoized way is not the one Lookup
+	// would pick — fall back so the LRU touch lands exactly where the full
+	// scan would put it.
+	for w := 0; w < way; w++ {
+		pe := c.entry(set, w)
+		if c.valid[pe] && !c.disabled[pe] && c.tags[pe] == tag && cycle >= c.validFrom[pe] {
+			return false
+		}
+	}
+	c.stats.Accesses++
+	c.stats.Hits++
+	c.lruTick++
+	c.lru[e] = c.lruTick
+	return true
+}
+
 // MarkInFlight registers an outstanding fill of line completing at ready.
 func (c *Cache) MarkInFlight(line uint64, ready int64) { c.inflight[line] = ready }
 

@@ -95,9 +95,25 @@ type Hierarchy struct {
 	// simulated access times monotone with issue order.
 	dFreeAt int64
 
+	// itlbMemo and dtlbMemo memoize the last successful translation per
+	// TLB (page and hit way), so the common run of same-page accesses
+	// skips the port wait and the set scan. The fast path re-verifies the
+	// memoized entry and replays a hit's exact side effects, so the memo
+	// is invisible in results and statistics (equivalence-tested).
+	itlbMemo, dtlbMemo tlbMemo
+	// noTLBMemo disables the memo (test hook for the equivalence test).
+	noTLBMemo bool
+
 	// lineVer is the integrity oracle: the store version of each line.
 	lineVer map[uint64]uint32
 	stats   HierarchyStats
+}
+
+// tlbMemo is one TLB's last-translation memo.
+type tlbMemo struct {
+	page  uint64
+	way   int
+	valid bool
 }
 
 // NewHierarchy builds the memory system.
@@ -178,11 +194,26 @@ func (h *Hierarchy) sig(line uint64) uint64 {
 
 // tlbCheck translates addr through the given TLB, returning the cycle at
 // which translation is available.
-func (h *Hierarchy) tlbCheck(tlb *Cache, cycle int64, addr uint64) int64 {
+//
+// The memo fast path handles the dominant case — a repeat access to the
+// page this TLB translated last, with no port hold pending at cycle — in
+// O(1): LookupAt re-verifies the memoized entry and replays a hit's exact
+// side effects, and skipping WaitPorts is free because a hold-free cycle
+// waits zero and charges nothing. Anything else (page change, hold, memo
+// miss on a changed entry) falls back to the full path, which keeps the
+// memo exactly equivalent to always scanning.
+func (h *Hierarchy) tlbCheck(tlb *Cache, memo *tlbMemo, cycle int64, addr uint64) int64 {
+	if memo.valid && !h.noTLBMemo && memo.page == tlb.LineAddr(addr) && !tlb.Busy(cycle) {
+		if tlb.LookupAt(cycle, addr, memo.way) {
+			return cycle
+		}
+	}
 	t := tlb.WaitPorts(cycle)
-	if _, hit := tlb.Lookup(t, addr); hit {
+	if way, hit := tlb.Lookup(t, addr); hit {
+		memo.page, memo.way, memo.valid = tlb.LineAddr(addr), way, true
 		return t
 	}
+	memo.valid = false // the walk's fill is not readable until after t
 	h.stats.TLBWalks++
 	t += int64(h.cfg.PageWalkCycles)
 	tlb.Fill(t, addr, h.sig(tlb.LineAddr(addr)))
@@ -271,7 +302,7 @@ type FetchResult struct {
 func (h *Hierarchy) FetchInst(cycle int64, pc uint64) FetchResult {
 	h.stats.Fetches++
 	var res FetchResult
-	t := h.tlbCheck(h.ITLB, cycle, pc)
+	t := h.tlbCheck(h.ITLB, &h.itlbMemo, cycle, pc)
 	res.Walked = t != cycle
 	t = h.IL0.WaitPorts(t)
 	if way, hit := h.IL0.Lookup(t, pc); hit {
@@ -305,7 +336,7 @@ func (h *Hierarchy) Load(cycle int64, addr uint64) LoadResult {
 	if cycle < h.dFreeAt {
 		cycle = h.dFreeAt
 	}
-	t := h.tlbCheck(h.DTLB, cycle, addr)
+	t := h.tlbCheck(h.DTLB, &h.dtlbMemo, cycle, addr)
 	res.Walked = t != cycle
 	t = h.DL0.WaitPorts(t)
 	h.dFreeAt = t + 1
@@ -410,7 +441,7 @@ func (h *Hierarchy) CommitStore(cycle int64, addr uint64, data uint64) StoreResu
 	if cycle < h.dFreeAt {
 		cycle = h.dFreeAt
 	}
-	t := h.tlbCheck(h.DTLB, cycle, addr)
+	t := h.tlbCheck(h.DTLB, &h.dtlbMemo, cycle, addr)
 	res.Walked = t != cycle
 	t = h.DL0.WaitPorts(t)
 	h.dFreeAt = t + 1

@@ -62,6 +62,13 @@ type Core struct {
 	// inputs and asserts bit-identical Results.
 	noSkip bool
 
+	// stop, when non-nil, is polled periodically from the run loop; a
+	// non-nil return aborts the run with that error. The experiment runner
+	// wires context cancellation and per-point timeouts through it so a
+	// long simulation can be preempted between cycles without perturbing
+	// results (the check has no side effects on core state).
+	stop func() error
+
 	// Per-run scratch, owned by the core so back-to-back Run calls (and
 	// Reset-reused cores) allocate nothing on the hot path. delayed and
 	// mispred are sized to the largest trace seen; fetch is a fixed ring.
@@ -314,6 +321,47 @@ func (c *Core) dispatchWakes(cycle int64) (dispatched bool) {
 	return dispatched
 }
 
+// SetStopCheck installs f as the run loop's preemption hook: it is polled
+// every few thousand loop iterations and a non-nil return aborts the
+// in-flight Run/RunWindow with that error. Passing nil removes the hook.
+// The hook must be side-effect free with respect to simulation state; it
+// never affects the results of runs that complete.
+func (c *Core) SetStopCheck(f func() error) { c.stop = f }
+
+// statBases snapshots every counter a Result diffs against, taken when
+// measurement starts (core construction time for a whole run, the window
+// boundary for RunWindow).
+type statBases struct {
+	rf         regfile.Stats
+	mem        cache.HierarchyStats
+	il0, dl0   cache.Stats
+	ul1        cache.Stats
+	itlb, dtlb cache.Stats
+	bp         predictor.Stats
+	rfv, cv    uint64
+	noop       uint64
+	run        stats.Run
+	cycle      int64
+}
+
+func (c *Core) snapBases(run *stats.Run, cycle int64) statBases {
+	return statBases{
+		rf:   c.rf.Stats(),
+		mem:  c.mem.Stats(),
+		il0:  c.mem.IL0.Stats(),
+		dl0:  c.mem.DL0.Stats(),
+		ul1:  c.mem.UL1.Stats(),
+		itlb: c.mem.ITLB.Stats(),
+		dtlb: c.mem.DTLB.Stats(),
+		bp:   c.bp.Stats(),
+		rfv:  c.rf.Array().Stats().ViolationReads,
+		cv:   c.mem.ViolationReads(),
+		noop: c.q.NOOPsInjected,
+		run:  *run,
+		cycle: cycle,
+	}
+}
+
 // Run simulates tr to completion and reports the result. The core's caches
 // stay warm across calls (deliberately, for the DVFS scenario); use a fresh
 // Core for independent measurements.
@@ -325,22 +373,39 @@ func (c *Core) dispatchWakes(cycle int64) (dispatched bool) {
 // and why stall attribution is preserved. Results are bit-identical to
 // strict cycle stepping (golden + fuzz equivalence tests hold the engines
 // together).
-func (c *Core) Run(tr *trace.Trace) (*Result, error) {
+func (c *Core) Run(tr *trace.Trace) (*Result, error) { return c.run(tr, 0) }
+
+// RunWindow simulates tr to completion but measures only from the
+// measureFrom-th instruction on: the leading instructions execute normally
+// (they warm caches, train the predictor and fill the pipeline) and their
+// statistics are excluded from the Result. RunWindow(tr, 0) is exactly
+// Run(tr).
+//
+// The measurement boundary is deterministic: statistics snapshot at the
+// top of the first cycle after the measureFrom-th instruction issued, so
+// two runs over the same trace always cut at the same point regardless of
+// engine mode (stepped or event-driven). This is the execution half of the
+// sample-window methodology — trace.Shard produces the windows, the sim
+// runner fans them out, and core.MergeWindowResults stitches the pieces.
+func (c *Core) RunWindow(tr *trace.Trace, measureFrom int) (*Result, error) {
+	if measureFrom < 0 || measureFrom >= len(tr.Insts) {
+		return nil, fmt.Errorf("core: window start %d out of range for trace %q (%d insts)",
+			measureFrom, tr.Name, len(tr.Insts))
+	}
+	return c.run(tr, measureFrom)
+}
+
+func (c *Core) run(tr *trace.Trace, measureFrom int) (*Result, error) {
 	insts := tr.Insts
 	total := len(insts)
 	if total == 0 {
 		return nil, fmt.Errorf("core: empty trace %q", tr.Name)
 	}
 
-	// Pre-run stat snapshots so a Result reports this trace only.
-	rfBase := c.rf.Stats()
-	memBase := c.mem.Stats()
-	il0Base, dl0Base, ul1Base := c.mem.IL0.Stats(), c.mem.DL0.Stats(), c.mem.UL1.Stats()
-	itlbBase, dtlbBase := c.mem.ITLB.Stats(), c.mem.DTLB.Stats()
-	bpBase := c.bp.Stats()
-	rfvBase := c.rf.Array().Stats().ViolationReads
-	cvBase := c.mem.ViolationReads()
-	noopBase := c.q.NOOPsInjected
+	// Stat snapshots so a Result reports this trace's measured span only;
+	// taken immediately for a whole run, at the window boundary otherwise.
+	var bases statBases
+	measuring := false
 
 	var run stats.Run
 	if cap(c.delayed) < total {
@@ -381,7 +446,23 @@ func (c *Core) Run(tr *trace.Trace) (*Result, error) {
 	var memoStall stats.StallKind
 	var memoBlocked *trace.Inst
 
+	loopIters := 0
 	for issuedTotal < total {
+		// Measurement boundary: at the top of the first cycle after the
+		// measureFrom-th instruction issued. issuedTotal only changes in the
+		// issue stage and a cycle that issues never enters the bulk skip, so
+		// this trigger point is identical for the stepped and event-driven
+		// engines.
+		if !measuring && issuedTotal >= measureFrom {
+			bases = c.snapBases(&run, cycle)
+			measuring = true
+		}
+		if c.stop != nil && loopIters&1023 == 0 {
+			if err := c.stop(); err != nil {
+				return nil, fmt.Errorf("core: %s: run aborted: %w", tr.Name, err)
+			}
+		}
+		loopIters++
 		cycle++
 		if cycle > maxCycles {
 			return nil, fmt.Errorf("core: deadlock watchdog at cycle %d (%d/%d issued, occupancy %d)",
@@ -556,10 +637,13 @@ func (c *Core) Run(tr *trace.Trace) (*Result, error) {
 	}
 
 	c.now = cycle
-	run.Cycles = uint64(cycle - startCycle)
-	run.Instructions = uint64(total)
-	return c.buildResult(tr.Name, &run, rfBase, memBase, il0Base, dl0Base, ul1Base,
-		itlbBase, dtlbBase, bpBase, rfvBase, cvBase, noopBase), nil
+	// bases.run carries the warm span's counters (all zero for a whole run:
+	// the snapshot happens before the first cycle); Cycles/Instructions are
+	// only set here, after the diff.
+	run.Sub(&bases.run)
+	run.Cycles = uint64(cycle - bases.cycle)
+	run.Instructions = uint64(total - measureFrom)
+	return c.buildResult(tr.Name, &run, &bases), nil
 }
 
 // predictAtFetch consults BP/RSB for control ops, returning whether fetch
@@ -801,19 +885,15 @@ func (c *Core) readSources(cycle int64, in *trace.Inst) {
 	}
 }
 
-func (c *Core) buildResult(name string, run *stats.Run,
-	rfBase regfile.Stats, memBase cache.HierarchyStats,
-	il0Base, dl0Base, ul1Base, itlbBase, dtlbBase cache.Stats,
-	bpBase predictor.Stats, rfvBase, cvBase, noopBase uint64) *Result {
-
-	rfS := subRF(c.rf.Stats(), rfBase)
-	memS := subMem(c.mem.Stats(), memBase)
-	il0 := subCache(c.mem.IL0.Stats(), il0Base)
-	dl0 := subCache(c.mem.DL0.Stats(), dl0Base)
-	ul1 := subCache(c.mem.UL1.Stats(), ul1Base)
-	itlb := subCache(c.mem.ITLB.Stats(), itlbBase)
-	dtlb := subCache(c.mem.DTLB.Stats(), dtlbBase)
-	bpS := subBP(c.bp.Stats(), bpBase)
+func (c *Core) buildResult(name string, run *stats.Run, bases *statBases) *Result {
+	rfS := subRF(c.rf.Stats(), bases.rf)
+	memS := subMem(c.mem.Stats(), bases.mem)
+	il0 := subCache(c.mem.IL0.Stats(), bases.il0)
+	dl0 := subCache(c.mem.DL0.Stats(), bases.dl0)
+	ul1 := subCache(c.mem.UL1.Stats(), bases.ul1)
+	itlb := subCache(c.mem.ITLB.Stats(), bases.itlb)
+	dtlb := subCache(c.mem.DTLB.Stats(), bases.dtlb)
+	bpS := subBP(c.bp.Stats(), bases.bp)
 
 	res := &Result{
 		TraceName: name,
@@ -821,8 +901,8 @@ func (c *Core) buildResult(name string, run *stats.Run,
 		Run:       *run,
 		Time:      float64(run.Cycles) * c.plan.CycleTime,
 
-		RFViolations:         c.rf.Array().Stats().ViolationReads - rfvBase,
-		CacheViolations:      c.mem.ViolationReads() - cvBase,
+		RFViolations:         c.rf.Array().Stats().ViolationReads - bases.rfv,
+		CacheViolations:      c.mem.ViolationReads() - bases.cv,
 		CorruptConsumed:      memS.CorruptConsumed,
 		IntegrityErrors:      rfS.IntegrityErrors + memS.IntegrityErrors,
 		RepairedDestructions: memS.RepairedDestructions,
@@ -835,7 +915,7 @@ func (c *Core) buildResult(name string, run *stats.Run,
 		ITLB: itlb,
 		DTLB: dtlb,
 
-		NOOPsInjected: c.q.NOOPsInjected - noopBase,
+		NOOPsInjected: c.q.NOOPsInjected - bases.noop,
 	}
 	res.CorruptConsumed += res.RFViolations // RF violations are consumed reads
 

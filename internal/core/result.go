@@ -92,6 +92,39 @@ func MergeResults(results []*Result) *Result {
 	return agg
 }
 
+// MergeWindowResults stitches the per-window Results of one sharded trace
+// (in window order) into a single trace-level Result carrying the parent
+// trace's name. It differs from MergeResults in two ways that matter for
+// window stitching:
+//
+//   - Time is recomputed from the stitched cycle total and the shared clock
+//     plan, so the stitch is independent of per-window float summation and
+//     bit-identical to what a single run over the same cycles would report;
+//   - DisabledLines is a per-core constant (the Faulty-Bits fault map), not
+//     a flow counter: every window reports the same map, so the stitched
+//     result keeps one copy instead of summing.
+//
+// With a single window covering the whole trace the output equals the
+// window's Result exactly (golden-tested against a whole-trace run).
+func MergeWindowResults(traceName string, windows []*Result) *Result {
+	if len(windows) == 1 {
+		res := *windows[0]
+		res.TraceName = traceName
+		return &res
+	}
+	agg := MergeResults(windows)
+	agg.TraceName = traceName
+	if len(windows) > 0 {
+		agg.Time = float64(agg.Run.Cycles) * agg.Plan.CycleTime
+		agg.IL0.DisabledLines = windows[0].IL0.DisabledLines
+		agg.DL0.DisabledLines = windows[0].DL0.DisabledLines
+		agg.UL1.DisabledLines = windows[0].UL1.DisabledLines
+		agg.ITLB.DisabledLines = windows[0].ITLB.DisabledLines
+		agg.DTLB.DisabledLines = windows[0].DTLB.DisabledLines
+	}
+	return agg
+}
+
 func addCache(dst, src *cache.Stats) {
 	dst.Accesses += src.Accesses
 	dst.Hits += src.Hits

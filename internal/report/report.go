@@ -23,18 +23,7 @@ func NewTable(title string, header ...string) *Table {
 // AddRow appends one row; values are formatted with %v unless already
 // strings.
 func (t *Table) AddRow(cells ...interface{}) {
-	row := make([]string, len(cells))
-	for i, c := range cells {
-		switch v := c.(type) {
-		case string:
-			row[i] = v
-		case float64:
-			row[i] = fmt.Sprintf("%.3f", v)
-		default:
-			row[i] = fmt.Sprintf("%v", v)
-		}
-	}
-	t.Rows = append(t.Rows, row)
+	t.Rows = append(t.Rows, formatCells(cells))
 }
 
 // Render writes the table as aligned text.
@@ -101,6 +90,115 @@ func (t *Table) RenderCSV(w io.Writer) error {
 		writeRow(row)
 	}
 	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// formatCells renders a row's values the way Table.AddRow does, so the
+// batch and streaming tables print identically for the same inputs.
+func formatCells(cells []interface{}) []string {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	return row
+}
+
+// StreamTable renders rows as they arrive instead of buffering the whole
+// table: the header goes out immediately and each AddRow writes one line. It
+// exists for progressive consumers (cmd/figures, cmd/vccsweep render each
+// sweep row the moment its operating points complete, long before the
+// grid finishes). Column widths are fixed up front from the header (with
+// a floor), so alignment holds without seeing future rows; an oversized
+// cell widens its own row only.
+type StreamTable struct {
+	w      io.Writer
+	csv    bool
+	widths []int
+}
+
+// minStreamWidth is the narrowest streamed column; headers shorter than
+// this get padding room for typical numeric cells.
+const minStreamWidth = 9
+
+// NewStreamTable writes the title and header to w immediately and returns
+// the streaming row writer. With csv set, output is CSV (no title, no
+// alignment), matching Table.RenderCSV cell for cell.
+func NewStreamTable(w io.Writer, csv bool, title string, header ...string) (*StreamTable, error) {
+	s := &StreamTable{w: w, csv: csv, widths: make([]int, len(header))}
+	for i, h := range header {
+		s.widths[i] = len(h)
+		if s.widths[i] < minStreamWidth {
+			s.widths[i] = minStreamWidth
+		}
+	}
+	if csv {
+		return s, s.writeCSV(header)
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	s.writeAligned(&b, header)
+	total := len(header) - 1
+	for _, wd := range s.widths {
+		total += wd + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return s, err
+}
+
+// AddRow formats and writes one row immediately (values format exactly as
+// Table.AddRow would).
+func (s *StreamTable) AddRow(cells ...interface{}) error {
+	row := formatCells(cells)
+	if s.csv {
+		return s.writeCSV(row)
+	}
+	var b strings.Builder
+	s.writeAligned(&b, row)
+	_, err := io.WriteString(s.w, b.String())
+	return err
+}
+
+func (s *StreamTable) writeAligned(b *strings.Builder, cells []string) {
+	for i, c := range cells {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		width := minStreamWidth
+		if i < len(s.widths) {
+			width = s.widths[i]
+		}
+		fmt.Fprintf(b, "%-*s", width, c)
+	}
+	b.WriteByte('\n')
+}
+
+func (s *StreamTable) writeCSV(cells []string) error {
+	var b strings.Builder
+	for i, c := range cells {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if strings.ContainsAny(c, ",\"\n") {
+			b.WriteByte('"')
+			b.WriteString(strings.ReplaceAll(c, "\"", "\"\""))
+			b.WriteByte('"')
+		} else {
+			b.WriteString(c)
+		}
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(s.w, b.String())
 	return err
 }
 

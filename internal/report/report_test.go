@@ -56,3 +56,43 @@ func TestHelpers(t *testing.T) {
 		t.Fatal("Bool wrong")
 	}
 }
+
+func TestStreamTableAlignedAndCSV(t *testing.T) {
+	var buf strings.Builder
+	st, err := NewStreamTable(&buf, false, "stream title", "Vcc", "ipc", "a-long-header")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AddRow(500, 0.51234, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AddRow(400, 1.0, "yy"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, two rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "stream title" {
+		t.Errorf("title line %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "Vcc") || !strings.Contains(lines[1], "a-long-header") {
+		t.Errorf("header line %q", lines[1])
+	}
+	if !strings.Contains(lines[3], "0.512") {
+		t.Errorf("float not formatted like Table.AddRow: %q", lines[3])
+	}
+
+	var csv strings.Builder
+	st, err = NewStreamTable(&csv, true, "ignored", "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AddRow("x,y", 2.5); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := csv.String(), "a,b\n\"x,y\",2.500\n"; got != want {
+		t.Errorf("csv = %q, want %q", got, want)
+	}
+}

@@ -33,11 +33,11 @@ func CompilerResched(traces []*trace.Trace, v circuit.Millivolts, minGap int) (*
 
 	baseCfg := core.DefaultConfig(v, circuit.ModeBaseline)
 	irawCfg := core.DefaultConfig(v, circuit.ModeIRAW)
-	_, aggs, err := defaultRunner.runPoints(context.Background(), []pointSpec{
-		{label: fmt.Sprintf("resched %v baseline", v), cfg: baseCfg, traces: traces},
-		{label: fmt.Sprintf("resched %v iraw", v), cfg: irawCfg, traces: traces},
-		{label: fmt.Sprintf("resched %v baseline+sched", v), cfg: baseCfg, traces: resched},
-		{label: fmt.Sprintf("resched %v iraw+sched", v), cfg: irawCfg, traces: resched},
+	_, aggs, err := defaultRunner.runPoints(context.Background(), []PointSpec{
+		{Label: fmt.Sprintf("resched %v baseline", v), Cfg: baseCfg, Traces: traces},
+		{Label: fmt.Sprintf("resched %v iraw", v), Cfg: irawCfg, Traces: traces},
+		{Label: fmt.Sprintf("resched %v baseline+sched", v), Cfg: baseCfg, Traces: resched},
+		{Label: fmt.Sprintf("resched %v iraw+sched", v), Cfg: irawCfg, Traces: resched},
 	})
 	if err != nil {
 		return nil, err
@@ -67,7 +67,7 @@ type GateSensitivityRow struct {
 // never drains between points.
 func GateSensitivity(traces []*trace.Trace, v circuit.Millivolts) ([]GateSensitivityRow, error) {
 	configs := []struct{ ici, ai int }{{2, 2}, {2, 4}, {4, 2}, {4, 4}}
-	specs := make([]pointSpec, 0, len(configs))
+	specs := make([]PointSpec, 0, len(configs))
 	for _, cc := range configs {
 		cfg := core.DefaultConfig(v, circuit.ModeIRAW)
 		cfg.IQ.ICI = cc.ici
@@ -75,9 +75,9 @@ func GateSensitivity(traces []*trace.Trace, v circuit.Millivolts) ([]GateSensiti
 		if cfg.Width > cc.ici {
 			cfg.Width = cc.ici
 		}
-		specs = append(specs, pointSpec{
-			label: fmt.Sprintf("gate %v ici=%d ai=%d", v, cc.ici, cc.ai),
-			cfg:   cfg, traces: traces,
+		specs = append(specs, PointSpec{
+			Label: fmt.Sprintf("gate %v ici=%d ai=%d", v, cc.ici, cc.ai),
+			Cfg:   cfg, Traces: traces,
 		})
 	}
 	_, aggs, err := defaultRunner.runPoints(context.Background(), specs)
@@ -111,13 +111,13 @@ type STableSizingRow struct {
 // three sizings fan out together through one runPoints call.
 func STableSizing(traces []*trace.Trace, v circuit.Millivolts) ([]STableSizingRow, error) {
 	widths := []int{1, 2, 4}
-	specs := make([]pointSpec, 0, len(widths))
+	specs := make([]PointSpec, 0, len(widths))
 	for _, spc := range widths {
 		cfg := core.DefaultConfig(v, circuit.ModeIRAW)
 		cfg.Hierarchy.StoresPerCycle = spc
-		specs = append(specs, pointSpec{
-			label: fmt.Sprintf("stable %v spc=%d", v, spc),
-			cfg:   cfg, traces: traces,
+		specs = append(specs, PointSpec{
+			Label: fmt.Sprintf("stable %v spc=%d", v, spc),
+			Cfg:   cfg, Traces: traces,
 		})
 	}
 	_, aggs, err := defaultRunner.runPoints(context.Background(), specs)
@@ -129,7 +129,7 @@ func STableSizing(traces []*trace.Trace, v circuit.Millivolts) ([]STableSizingRo
 		agg := aggs[i]
 		rows = append(rows, STableSizingRow{
 			StoresPerCycle: spc,
-			Entries:        spc * (specs[i].cfg.Hierarchy.MaxStabilize + 1),
+			Entries:        spc * (specs[i].Cfg.Hierarchy.MaxStabilize + 1),
 			IPC:            agg.IPC(),
 			Forwards:       agg.Mem.STableForwards,
 			ReplayCycles:   agg.Mem.DL0ReplayStallCycles,
@@ -153,9 +153,9 @@ func DeterminismMode(traces []*trace.Trace, v circuit.Millivolts) (*DeterminismR
 	defCfg := core.DefaultConfig(v, circuit.ModeIRAW)
 	detCfg := core.DefaultConfig(v, circuit.ModeIRAW)
 	detCfg.Predictor.Deterministic = true
-	_, aggs, err := defaultRunner.runPoints(context.Background(), []pointSpec{
-		{label: fmt.Sprintf("determinism %v default", v), cfg: defCfg, traces: traces},
-		{label: fmt.Sprintf("determinism %v deterministic", v), cfg: detCfg, traces: traces},
+	_, aggs, err := defaultRunner.runPoints(context.Background(), []PointSpec{
+		{Label: fmt.Sprintf("determinism %v default", v), Cfg: defCfg, Traces: traces},
+		{Label: fmt.Sprintf("determinism %v deterministic", v), Cfg: detCfg, Traces: traces},
 	})
 	if err != nil {
 		return nil, err
@@ -184,14 +184,14 @@ type CombinedFaultyRow struct {
 // CombinedFaulty measures the combination across the given levels. All
 // three designs at every level fan out together across the pool.
 func CombinedFaulty(traces []*trace.Trace, levels []circuit.Millivolts) ([]CombinedFaultyRow, error) {
-	specs := make([]pointSpec, 0, 3*len(levels))
+	specs := make([]PointSpec, 0, 3*len(levels))
 	for _, v := range levels {
 		comb := core.DefaultConfig(v, circuit.ModeIRAW)
 		comb.CombineFaultyBits = true
 		specs = append(specs,
-			pointSpec{label: fmt.Sprintf("combined %v baseline", v), cfg: core.DefaultConfig(v, circuit.ModeBaseline), traces: traces},
-			pointSpec{label: fmt.Sprintf("combined %v iraw", v), cfg: core.DefaultConfig(v, circuit.ModeIRAW), traces: traces},
-			pointSpec{label: fmt.Sprintf("combined %v iraw+faulty", v), cfg: comb, traces: traces},
+			PointSpec{Label: fmt.Sprintf("combined %v baseline", v), Cfg: core.DefaultConfig(v, circuit.ModeBaseline), Traces: traces},
+			PointSpec{Label: fmt.Sprintf("combined %v iraw", v), Cfg: core.DefaultConfig(v, circuit.ModeIRAW), Traces: traces},
+			PointSpec{Label: fmt.Sprintf("combined %v iraw+faulty", v), Cfg: comb, Traces: traces},
 		)
 	}
 	_, aggs, err := defaultRunner.runPoints(context.Background(), specs)

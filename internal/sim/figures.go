@@ -76,25 +76,45 @@ type Fig11bRow struct {
 
 // Figure11b sweeps both designs over the full range and measures speedups.
 func Figure11b(traces []*trace.Trace) ([]Fig11bRow, error) {
-	sweep, err := Sweep(traces, []circuit.Mode{circuit.ModeBaseline, circuit.ModeIRAW}, circuit.Levels())
+	return Figure11bStream(context.Background(), traces, nil)
+}
+
+// fig11bRow derives one voltage's row from the two designs' aggregates.
+func fig11bRow(v circuit.Millivolts, base, iraw *core.Result) Fig11bRow {
+	row := Fig11bRow{
+		Vcc:      v,
+		FreqGain: iraw.Plan.FreqGain,
+		PerfGain: base.Time / iraw.Time,
+		IPCBase:  base.IPC(),
+		IPCIRAW:  iraw.IPC(),
+	}
+	if row.IPCBase > 0 {
+		row.StallCost = 1 - row.IPCIRAW/row.IPCBase
+	}
+	return row
+}
+
+// Figure11bStream is Figure11b off the streaming sweep: rows are handed to
+// emit in voltage order as soon as both designs at a voltage have
+// completed, so callers can render the figure progressively while the rest
+// of the grid is still running. The returned slice is the complete figure,
+// bit-identical to the batch Figure11b (which is implemented as this
+// function with a nil emit).
+func Figure11bStream(ctx context.Context, traces []*trace.Trace, emit func(Fig11bRow)) ([]Fig11bRow, error) {
+	modes := []circuit.Mode{circuit.ModeBaseline, circuit.ModeIRAW}
+	levels := circuit.Levels()
+	rows := make([]Fig11bRow, 0, len(levels))
+	err := defaultRunner.StreamLevels(ctx, traces, modes, levels,
+		func(v circuit.Millivolts, pts map[circuit.Mode]*Point) error {
+			row := fig11bRow(v, pts[circuit.ModeBaseline].Agg, pts[circuit.ModeIRAW].Agg)
+			rows = append(rows, row)
+			if emit != nil {
+				emit(row)
+			}
+			return nil
+		})
 	if err != nil {
 		return nil, err
-	}
-	rows := make([]Fig11bRow, 0, len(circuit.Levels()))
-	for _, v := range circuit.Levels() {
-		base := sweep[circuit.ModeBaseline][v].Agg
-		iraw := sweep[circuit.ModeIRAW][v].Agg
-		row := Fig11bRow{
-			Vcc:      v,
-			FreqGain: iraw.Plan.FreqGain,
-			PerfGain: base.Time / iraw.Time,
-			IPCBase:  base.IPC(),
-			IPCIRAW:  iraw.IPC(),
-		}
-		if row.IPCBase > 0 {
-			row.StallCost = 1 - row.IPCIRAW/row.IPCBase
-		}
-		rows = append(rows, row)
 	}
 	return rows, nil
 }
@@ -345,17 +365,17 @@ type NSweepRow struct {
 // ranges where the number of IRAW cycles was larger", Section 5.2). The
 // baseline and every forced-N point fan out together across the pool.
 func NSweep(traces []*trace.Trace, v circuit.Millivolts, maxN int) ([]NSweepRow, error) {
-	specs := make([]pointSpec, 0, maxN+1)
-	specs = append(specs, pointSpec{
-		label: fmt.Sprintf("nsweep %v baseline", v),
-		cfg:   core.DefaultConfig(v, circuit.ModeBaseline), traces: traces,
+	specs := make([]PointSpec, 0, maxN+1)
+	specs = append(specs, PointSpec{
+		Label: fmt.Sprintf("nsweep %v baseline", v),
+		Cfg:   core.DefaultConfig(v, circuit.ModeBaseline), Traces: traces,
 	})
 	for n := 1; n <= maxN; n++ {
 		cfg := core.DefaultConfig(v, circuit.ModeIRAW)
 		cfg.ForcedN = n
-		specs = append(specs, pointSpec{
-			label: fmt.Sprintf("nsweep %v N=%d", v, n),
-			cfg:   cfg, traces: traces,
+		specs = append(specs, PointSpec{
+			Label: fmt.Sprintf("nsweep %v N=%d", v, n),
+			Cfg:   cfg, Traces: traces,
 		})
 	}
 	_, aggs, err := defaultRunner.runPoints(context.Background(), specs)
@@ -389,9 +409,9 @@ func Validate(traces []*trace.Trace, v circuit.Millivolts) (*ValidationResult, e
 	safeCfg := core.DefaultConfig(v, circuit.ModeIRAW)
 	unsafeCfg := core.DefaultConfig(v, circuit.ModeIRAW)
 	unsafeCfg.DisableAvoidance = true
-	_, aggs, err := defaultRunner.runPoints(context.Background(), []pointSpec{
-		{label: fmt.Sprintf("validate %v safe", v), cfg: safeCfg, traces: traces},
-		{label: fmt.Sprintf("validate %v unsafe", v), cfg: unsafeCfg, traces: traces},
+	_, aggs, err := defaultRunner.runPoints(context.Background(), []PointSpec{
+		{Label: fmt.Sprintf("validate %v safe", v), Cfg: safeCfg, Traces: traces},
+		{Label: fmt.Sprintf("validate %v unsafe", v), Cfg: unsafeCfg, Traces: traces},
 	})
 	if err != nil {
 		return nil, err

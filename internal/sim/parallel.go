@@ -2,91 +2,39 @@ package sim
 
 import (
 	"context"
-	"fmt"
-	"sort"
 
 	"lowvcc/internal/circuit"
 	"lowvcc/internal/core"
 	"lowvcc/internal/trace"
 )
 
-// pointSpec is one operating point to simulate: a core configuration over
-// an ordered trace list, plus a label for error reporting.
-type pointSpec struct {
-	label  string
-	cfg    core.Config
-	traces []*trace.Trace
-}
-
-// runPoints simulates every (point, trace) cell of specs on the runner's
-// pool and returns, per point, the per-trace results (in trace order) and
-// their aggregate.
-//
-// The fan-out unit is one cell — fresh-core warm-up pass plus measured
-// pass of one trace — so a sweep of M points over T traces exposes M*T
-// independent jobs. Each worker keeps one Core and reuses it via
-// (*core.Core).Reset while consecutive jobs stay on the same point, which
-// removes the per-trace construction cost on large sweeps. Results are
-// merged after the pool drains, in (point, trace-index) order, so the
-// output is bit-identical to the sequential path regardless of worker
-// count or scheduling.
-func (r *Runner) runPoints(ctx context.Context, specs []pointSpec) ([][]*core.Result, []*core.Result, error) {
-	offsets := make([]int, len(specs)+1)
-	for i, s := range specs {
-		offsets[i+1] = offsets[i] + len(s.traces)
-	}
-	n := offsets[len(specs)]
-
+// runPoints is the batch collector over Stream: it drains the update
+// channel, places each cell's result into its (point, trace) slot, and
+// aggregates per point after the stream closes — always in (point,
+// trace-index) order, so the output is bit-identical to the sequential
+// path regardless of worker count, scheduling or emission order.
+func (r *Runner) runPoints(ctx context.Context, specs []PointSpec) ([][]*core.Result, []*core.Result, error) {
 	results := make([][]*core.Result, len(specs))
-	for i, s := range specs {
-		results[i] = make([]*core.Result, len(s.traces))
+	for i := range specs {
+		results[i] = make([]*core.Result, len(specs[i].Traces))
 	}
 
-	// Worker-local core cache: reused across cells of the same point. The
-	// pool size is resolved exactly once and shared with forEach so the
-	// cache and the pool can never disagree (SetWorkers racing a running
-	// sweep must not index out of range).
-	workers := r.workers(n)
-	type workerCore struct {
-		point int
-		c     *core.Core
-	}
-	cores := make([]workerCore, workers)
-	for i := range cores {
-		cores[i].point = -1
-	}
-
-	err := r.forEach(ctx, workers, n, func(worker, job int) error {
-		// Map the flat job index back to its (point, trace) cell: the
-		// last point whose first cell is at or before job.
-		point := sort.SearchInts(offsets, job+1) - 1
-		spec := &specs[point]
-		tr := spec.traces[job-offsets[point]]
-
-		wc := &cores[worker]
-		if wc.point == point && wc.c != nil {
-			if err := wc.c.Reset(); err != nil {
-				return fmt.Errorf("%s: reset: %w", spec.label, err)
+	var firstErr error
+	for u := range r.Stream(ctx, specs) {
+		if u.Err != nil {
+			if firstErr == nil {
+				firstErr = u.Err
 			}
-		} else {
-			c, err := core.New(spec.cfg)
-			if err != nil {
-				return fmt.Errorf("%s: %w", spec.label, err)
-			}
-			wc.point, wc.c = point, c
+			continue
 		}
-
-		if _, err := wc.c.Run(tr); err != nil { // warm-up pass
-			return fmt.Errorf("%s: warmup %s: %w", spec.label, tr.Name, err)
-		}
-		res, err := wc.c.Run(tr)
-		if err != nil {
-			return fmt.Errorf("%s: measure %s: %w", spec.label, tr.Name, err)
-		}
-		results[point][job-offsets[point]] = res
-		return nil
-	})
-	if err != nil {
+		results[u.Point][u.Trace] = u.Result
+	}
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	// The terminal update can be dropped when cancellation races the drain;
+	// the context still records why the stream stopped short.
+	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
 
@@ -98,10 +46,11 @@ func (r *Runner) runPoints(ctx context.Context, specs []pointSpec) ([][]*core.Re
 }
 
 // RunPoint simulates every trace at one operating point (fresh core,
-// warm-up pass, measured pass per trace) across the runner's pool and
-// returns the per-trace results plus their aggregate.
+// warm-up pass, measured pass per trace — or sharded sample windows when
+// windowing is enabled) across the runner's pool and returns the per-trace
+// results plus their aggregate.
 func (r *Runner) RunPoint(ctx context.Context, cfg core.Config, traces []*trace.Trace) ([]*core.Result, *core.Result, error) {
-	results, aggs, err := r.runPoints(ctx, []pointSpec{{label: "point", cfg: cfg, traces: traces}})
+	results, aggs, err := r.runPoints(ctx, []PointSpec{{Label: "point", Cfg: cfg, Traces: traces}})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -109,30 +58,28 @@ func (r *Runner) RunPoint(ctx context.Context, cfg core.Config, traces []*trace.
 }
 
 // Sweep runs the suite for each voltage level in each mode on the runner's
-// pool. The result is indexed [mode][voltage].
+// pool, collecting the streaming sweep into a grid. The result is indexed
+// [mode][voltage].
 func (r *Runner) Sweep(ctx context.Context, traces []*trace.Trace, modes []circuit.Mode, levels []circuit.Millivolts) (map[circuit.Mode]map[circuit.Millivolts]*Point, error) {
-	specs := make([]pointSpec, 0, len(modes)*len(levels))
-	for _, mode := range modes {
-		for _, v := range levels {
-			specs = append(specs, pointSpec{
-				label:  fmt.Sprintf("sweep %v %v", v, mode),
-				cfg:    core.DefaultConfig(v, mode),
-				traces: traces,
-			})
-		}
-	}
-	_, aggs, err := r.runPoints(ctx, specs)
-	if err != nil {
-		return nil, err
-	}
 	out := make(map[circuit.Mode]map[circuit.Millivolts]*Point, len(modes))
-	i := 0
 	for _, mode := range modes {
 		out[mode] = make(map[circuit.Millivolts]*Point, len(levels))
-		for _, v := range levels {
-			out[mode][v] = &Point{Vcc: v, Mode: mode, Agg: aggs[i]}
-			i++
+	}
+	var firstErr error
+	for u := range r.SweepStream(ctx, traces, modes, levels) {
+		if u.Err != nil {
+			if firstErr == nil {
+				firstErr = u.Err
+			}
+			continue
 		}
+		out[u.Mode][u.Vcc] = u.Point
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

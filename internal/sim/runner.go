@@ -5,18 +5,79 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Runner executes independent simulation jobs across a bounded pool of
 // goroutines. The zero value is ready to use and sizes the pool to
 // runtime.GOMAXPROCS(0).
 //
-// Scheduling never affects results: jobs write into per-index slots and
-// aggregation happens after the pool drains, in a fixed order, so a Runner
-// with one worker and a Runner with N workers produce bit-identical output.
+// Scheduling never affects results: Stream emits each (point, trace) cell
+// as it completes, every cell's content is deterministic, and the batch
+// collectors place cells by index and aggregate in a fixed order — so a
+// Runner with one worker and a Runner with N workers produce bit-identical
+// output for the same windowing configuration.
 type Runner struct {
 	// Workers bounds concurrency; <= 0 selects runtime.GOMAXPROCS(0).
 	Workers int
+
+	// PointTimeout, when positive, bounds each (point, trace) cell's wall
+	// clock, measured from the cell's first claimed window. A cell that
+	// exceeds it aborts with a descriptive error, which fails the sweep the
+	// same way any simulation error does (deterministic lowest-index
+	// reporting — though whether a timeout fires at all depends on the
+	// machine, so treat it as a guard rail, not a result).
+	PointTimeout time.Duration
+
+	// Progress, when non-nil, is invoked once per completed cell (and once
+	// for the terminal error update, if any) before the update is placed on
+	// the stream. Invocations are serialized and Done is strictly
+	// increasing. Keep it fast: it runs on the emitting worker's goroutine.
+	Progress func(PointUpdate)
+
+	// WindowInsts, when positive, shards every trace longer than
+	// WindowInsts into deterministic sample windows of that many measured
+	// instructions (trace.Shard), each preceded by a WarmInsts warm-up
+	// prefix that executes unmeasured. Sharded cells run each window as one
+	// pass on a fresh (Reset) core and stitch with core.MergeWindowResults;
+	// traces at or under the window size keep the exact unsharded
+	// warm-up + measure methodology. 0 disables sharding.
+	WindowInsts int
+
+	// WarmInsts is the per-window warm-up prefix length; <= 0 selects
+	// WindowInsts/4.
+	WarmInsts int
+}
+
+// WithPointTimeout sets the per-cell wall-clock budget and returns r for
+// chaining.
+func (r *Runner) WithPointTimeout(d time.Duration) *Runner {
+	r.PointTimeout = d
+	return r
+}
+
+// WithProgress sets the per-cell completion callback and returns r for
+// chaining.
+func (r *Runner) WithProgress(f func(PointUpdate)) *Runner {
+	r.Progress = f
+	return r
+}
+
+// WithWindow enables sharded long-trace execution (windowInsts measured
+// instructions per sample window, warmInsts of warm-up prefix; warmInsts
+// <= 0 selects windowInsts/4) and returns r for chaining.
+func (r *Runner) WithWindow(windowInsts, warmInsts int) *Runner {
+	r.WindowInsts = windowInsts
+	r.WarmInsts = warmInsts
+	return r
+}
+
+// warmInsts resolves the effective warm-up prefix length.
+func (r *Runner) warmInsts() int {
+	if r.WarmInsts > 0 {
+		return r.WarmInsts
+	}
+	return r.WindowInsts / 4
 }
 
 // workers resolves the effective pool size for n jobs.

@@ -11,25 +11,75 @@
 //     run, per Section 5.1 ("leakage ... set to 10% of the total energy
 //     consumption at 600mV").
 //
-// Concurrency conventions (the parallel experiment engine):
+// # Stream/collector architecture
+//
+// The experiment engine is a streaming pipeline. Runner.Stream is the one
+// execution core: it fans every (point, trace) cell across the worker pool
+// and emits a PointUpdate the moment a cell completes. Everything else is
+// a collector over that stream:
+//
+//   - runPoints (backing RunPoint and every ablation) places updates into
+//     (point, trace-index) slots and aggregates after the stream closes;
+//   - SweepStream folds cells into operating points and re-emits each
+//     point as its last trace lands (progressive consumers — cmd/figures,
+//     cmd/vccsweep — render rows from it before the grid finishes);
+//   - Sweep collects SweepStream into the [mode][voltage] grid.
+//
+// Concurrency conventions:
 //   - a Core is not goroutine-safe: exactly one Core per goroutine. The
 //     Runner's worker pool gives each worker its own Core and reuses it
-//     across traces of the same operating point via (*core.Core).Reset,
+//     across jobs of the same operating point via (*core.Core).Reset,
 //     which is guaranteed bit-identical to constructing a fresh Core;
-//   - the fan-out unit is one (mode, vcc, trace) cell; cells never share
-//     mutable state, and each writes its *core.Result into its own
-//     pre-indexed slot;
-//   - aggregation is deterministic: per-point merges happen after the pool
-//     drains, always in (mode, vcc, trace-index) order, so parallel output
-//     is bit-identical to sequential output for any worker count;
+//   - the fan-out unit is one (mode, vcc, trace) cell — or, with windowing
+//     enabled, one sample window of a cell; jobs never share mutable
+//     state, and each writes its *core.Result into its own slot;
+//   - emission order follows completion and is scheduling-dependent, but
+//     update *content* is not, and collectors place by index — so batch
+//     output is bit-identical to sequential output for any worker count;
+//   - errors are deterministic: the pool cancels on first failure and the
+//     stream's terminal update carries the lowest-index job's error;
+//   - cancellation and per-point timeouts preempt from inside the core's
+//     run loop (Core.SetStopCheck), so the stream drains promptly even
+//     mid-simulation;
 //   - the package-level experiment functions (Sweep, RunPoint, the figure
 //     and ablation generators) run on a shared default Runner sized to
-//     GOMAXPROCS; construct a Runner directly for custom worker counts or
-//     context cancellation.
+//     GOMAXPROCS; construct a Runner directly for custom worker counts,
+//     windowing, timeouts or context cancellation.
+//
+// # Sharding determinism rules
+//
+// With windowing enabled (Runner.WindowInsts > 0), traces longer than the
+// window size execute as deterministic sample windows instead of two full
+// passes: trace.Shard cuts the trace into fixed measured spans, each
+// prefixed by a warm-up interval that executes unmeasured on a fresh core
+// (core.RunWindow), and core.MergeWindowResults stitches the per-window
+// results in window order. The rules that keep this deterministic:
+//
+//   - the shard plan is a pure function of (trace length, WindowInsts,
+//     WarmInsts) — never of worker count, scheduling or wall clock;
+//   - each window simulates a fixed instruction span on a Reset core, so a
+//     window's Result depends only on (config, trace bytes, plan);
+//   - stitching always happens in window order, triggered by whichever
+//     worker finishes the cell's last window;
+//   - traces at or under the window size — and all traces when windowing
+//     is off — keep the exact unsharded warm-up + measure methodology, so
+//     WindowInsts = 0 and WindowInsts >= len(trace) are bit-identical to
+//     the pre-streaming batch engine.
+//
+// Sharded numbers are a sample-window *approximation* of one production
+// pass over the long trace: each window sees only its WarmInsts prefix of
+// history, so cross-window cache reuse is re-paid as cold-start misses and
+// the stitched IPC is deterministically pessimistic, converging to the
+// whole-pass numbers as windows grow (golden-tested with a 15% tolerance
+// at window = len/2). The approximation is deterministic and
+// worker-invariant for a fixed configuration but not bitwise equal to the
+// unsharded run — which is why windowing is opt-in and the evaluation
+// defaults keep it off.
 package sim
 
 import (
 	"context"
+	"time"
 
 	"lowvcc/internal/circuit"
 	"lowvcc/internal/core"
@@ -69,6 +119,20 @@ var defaultRunner = &Runner{}
 // flag does); it is not synchronized against experiments already running.
 func SetWorkers(n int) { defaultRunner.Workers = n }
 
+// SetProgress installs a per-cell completion callback on the default
+// runner (the cmd tools' -progress flag); nil removes it. Startup-time
+// only, like SetWorkers.
+func SetProgress(f func(PointUpdate)) { defaultRunner.Progress = f }
+
+// SetPointTimeout bounds each cell's wall clock on the default runner;
+// 0 disables the guard. Startup-time only, like SetWorkers.
+func SetPointTimeout(d time.Duration) { defaultRunner.PointTimeout = d }
+
+// SetWindow enables sharded long-trace execution on the default runner
+// (the cmd tools' -window/-warm flags); windowInsts 0 disables it.
+// Startup-time only, like SetWorkers.
+func SetWindow(windowInsts, warmInsts int) { defaultRunner.WithWindow(windowInsts, warmInsts) }
+
 // RunPoint simulates every trace at one operating point (warm measurement)
 // and returns the per-trace results plus their aggregate. Traces fan out
 // across the default runner's pool; results are in trace order.
@@ -88,6 +152,19 @@ type Point struct {
 // to rows; the result is indexed [mode][voltage].
 func Sweep(traces []*trace.Trace, modes []circuit.Mode, levels []circuit.Millivolts) (map[circuit.Mode]map[circuit.Millivolts]*Point, error) {
 	return defaultRunner.Sweep(context.Background(), traces, modes, levels)
+}
+
+// SweepStream runs the (modes x levels) grid on the default runner and
+// emits each operating point the moment its last trace completes; see
+// Runner.SweepStream for the drain contract.
+func SweepStream(ctx context.Context, traces []*trace.Trace, modes []circuit.Mode, levels []circuit.Millivolts) <-chan SweepUpdate {
+	return defaultRunner.SweepStream(ctx, traces, modes, levels)
+}
+
+// StreamLevels collects a streaming sweep voltage by voltage on the
+// default runner; see Runner.StreamLevels.
+func StreamLevels(ctx context.Context, traces []*trace.Trace, modes []circuit.Mode, levels []circuit.Millivolts, onLevel func(circuit.Millivolts, map[circuit.Mode]*Point) error) error {
+	return defaultRunner.StreamLevels(ctx, traces, modes, levels, onLevel)
 }
 
 // CalibratedEnergy builds an energy model calibrated on the 600 mV baseline

@@ -1,0 +1,344 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lowvcc/internal/circuit"
+	"lowvcc/internal/core"
+	"lowvcc/internal/trace"
+)
+
+// PointSpec is one operating point to simulate: a core configuration over
+// an ordered trace list, plus a label for error reporting and progress
+// lines.
+type PointSpec struct {
+	Label  string
+	Cfg    core.Config
+	Traces []*trace.Trace
+}
+
+// PointUpdate is one event on the result stream: a completed (point, trace)
+// cell, or — exactly once, as the last update before the channel closes —
+// the sweep's failure.
+type PointUpdate struct {
+	// Point and Trace locate the cell: specs[Point].Traces[Trace].
+	// Both are -1 on the terminal error update.
+	Point int
+	Trace int
+	// Label and TraceName identify the cell for progress lines.
+	Label     string
+	TraceName string
+	// Windows is how many sample windows the cell was sharded into
+	// (1 = unsharded whole-trace execution).
+	Windows int
+	// Result is the cell's (stitched) result; nil when Err is set.
+	Result *core.Result
+	// Err carries the sweep's failure: the error of the lowest-index failed
+	// job, or the context's error on cancellation.
+	Err error
+	// Done and Total report stream progress in cells.
+	Done, Total int
+}
+
+// cell is one (point, trace) unit of a stream: its shard plan, the
+// per-window result slots, and the countdown that triggers stitch-and-emit
+// when the last window lands.
+type cell struct {
+	point, traceIdx int
+	name            string
+	windows         []trace.Window
+	results         []*core.Result
+	remaining       atomic.Int32
+	// startedNanos is the wall-clock stamp of the cell's first claimed
+	// window; the per-point timeout measures from here.
+	startedNanos atomic.Int64
+}
+
+// Stream is the runner's core: it fans every (point, trace) cell of specs —
+// sharded into sample windows when windowing is enabled — across the worker
+// pool and emits each cell's result the moment its last window completes.
+// Every batch API (Sweep, RunPoint, the ablations) is a thin collector over
+// this stream.
+//
+// Emission order follows completion and is therefore scheduling-dependent,
+// but each update's content is not: a cell's Result is bit-identical for
+// any worker count, and collectors that place updates by (Point, Trace)
+// reconstruct exactly the sequential output. On failure the stream cancels
+// outstanding work, emits one terminal update carrying the deterministic
+// lowest-index error, and closes. Consumers must drain the channel until it
+// closes; abandoning it mid-stream requires cancelling ctx (the producer
+// drops sends once ctx is done, so cancellation drains promptly).
+func (r *Runner) Stream(ctx context.Context, specs []PointSpec) <-chan PointUpdate {
+	ch := make(chan PointUpdate)
+	go r.stream(ctx, specs, ch)
+	return ch
+}
+
+func (r *Runner) stream(ctx context.Context, specs []PointSpec, ch chan<- PointUpdate) {
+	defer close(ch)
+
+	// Build the cells and the flat job list in (point, trace, window)
+	// order. Job order is what makes error reporting deterministic (the
+	// pool surfaces the lowest-index failure) and keeps consecutive jobs of
+	// one point adjacent, so the per-worker core-reuse cache keeps hitting.
+	type jobRef struct {
+		cell *cell
+		win  int
+	}
+	var cells []*cell
+	var jobs []jobRef
+	for p := range specs {
+		for ti, tr := range specs[p].Traces {
+			cl := &cell{
+				point: p, traceIdx: ti, name: tr.Name,
+				windows: trace.Shard(tr, r.WindowInsts, r.warmInsts()),
+			}
+			cl.results = make([]*core.Result, len(cl.windows))
+			cl.remaining.Store(int32(len(cl.windows)))
+			cells = append(cells, cl)
+			for w := range cl.windows {
+				jobs = append(jobs, jobRef{cl, w})
+			}
+		}
+	}
+
+	// emit serializes channel sends, the Done counter and the Progress
+	// callback: Progress observes strictly increasing Done values and is
+	// never invoked concurrently. Sends drop once ctx is cancelled so
+	// workers can never block on a departed consumer.
+	var emitMu sync.Mutex
+	done := 0
+	emit := func(u PointUpdate) {
+		emitMu.Lock()
+		defer emitMu.Unlock()
+		done++
+		u.Done, u.Total = done, len(cells)
+		if r.Progress != nil {
+			r.Progress(u)
+		}
+		select {
+		case ch <- u:
+		case <-ctx.Done():
+		}
+	}
+
+	workers := r.workers(len(jobs))
+	type workerCore struct {
+		point int
+		c     *core.Core
+	}
+	cores := make([]workerCore, workers)
+	for i := range cores {
+		cores[i].point = -1
+	}
+
+	err := r.forEach(ctx, workers, len(jobs), func(worker, j int) error {
+		jr := jobs[j]
+		cl := jr.cell
+		spec := &specs[cl.point]
+		win := &cl.windows[jr.win]
+
+		wc := &cores[worker]
+		if wc.point == cl.point && wc.c != nil {
+			if err := wc.c.Reset(); err != nil {
+				return fmt.Errorf("%s: reset: %w", spec.Label, err)
+			}
+		} else {
+			c, err := core.New(spec.Cfg)
+			if err != nil {
+				return fmt.Errorf("%s: %w", spec.Label, err)
+			}
+			wc.point, wc.c = cl.point, c
+		}
+
+		// Preemption: context cancellation and the per-point wall-clock
+		// budget are polled from inside the core's run loop, so even a
+		// single enormous window aborts promptly. The budget clock starts
+		// at the cell's first claimed window.
+		if r.PointTimeout > 0 {
+			cl.startedNanos.CompareAndSwap(0, time.Now().UnixNano())
+		}
+		wc.c.SetStopCheck(func() error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if r.PointTimeout > 0 {
+				elapsed := time.Duration(time.Now().UnixNano() - cl.startedNanos.Load())
+				if elapsed > r.PointTimeout {
+					return fmt.Errorf("%s: %s: point timeout after %v", spec.Label, cl.name, r.PointTimeout)
+				}
+			}
+			return nil
+		})
+		defer wc.c.SetStopCheck(nil)
+
+		var res *core.Result
+		var err error
+		if len(cl.windows) == 1 {
+			// Unsharded cell: the exact batch methodology — one untimed
+			// warm-up pass, one measured pass.
+			if _, err = wc.c.Run(win.Trace); err != nil {
+				return fmt.Errorf("%s: warmup %s: %w", spec.Label, win.Trace.Name, err)
+			}
+			if res, err = wc.c.Run(win.Trace); err != nil {
+				return fmt.Errorf("%s: measure %s: %w", spec.Label, win.Trace.Name, err)
+			}
+		} else {
+			// Sample window: one pass where the warm-up prefix executes
+			// unmeasured and statistics cover only the window's span.
+			if res, err = wc.c.RunWindow(win.Trace, win.Warm); err != nil {
+				return fmt.Errorf("%s: window %s: %w", spec.Label, win.Trace.Name, err)
+			}
+		}
+		cl.results[jr.win] = res
+		if cl.remaining.Add(-1) == 0 {
+			// Last window of the cell: stitch in window order (deterministic
+			// regardless of which worker got here) and emit.
+			emit(PointUpdate{
+				Point: cl.point, Trace: cl.traceIdx,
+				Label: spec.Label, TraceName: cl.name,
+				Windows: len(cl.windows),
+				Result:  core.MergeWindowResults(cl.name, cl.results),
+			})
+		}
+		return nil
+	})
+	if err != nil {
+		emit(PointUpdate{Point: -1, Trace: -1, Err: err})
+	}
+}
+
+// SweepUpdate is one event on a streaming sweep: a completed operating
+// point (all traces merged), or the sweep's failure.
+type SweepUpdate struct {
+	Mode circuit.Mode
+	Vcc  circuit.Millivolts
+	// Point is the aggregated operating-point measurement; PerTrace its
+	// per-trace results in trace order. Both are nil when Err is set.
+	Point    *Point
+	PerTrace []*core.Result
+	Err      error
+	// Done and Total report progress in operating points.
+	Done, Total int
+}
+
+// sweepSpecs expands a (modes x levels) grid into PointSpecs in the fixed
+// (mode, level) order every sweep consumer indexes by.
+func sweepSpecs(traces []*trace.Trace, modes []circuit.Mode, levels []circuit.Millivolts) []PointSpec {
+	specs := make([]PointSpec, 0, len(modes)*len(levels))
+	for _, mode := range modes {
+		for _, v := range levels {
+			specs = append(specs, PointSpec{
+				Label:  fmt.Sprintf("sweep %v %v", v, mode),
+				Cfg:    core.DefaultConfig(v, mode),
+				Traces: traces,
+			})
+		}
+	}
+	return specs
+}
+
+// StreamLevels collects a streaming sweep voltage by voltage: onLevel is
+// invoked in level order, each call made as soon as every requested mode
+// at that level has completed — while later levels may still be running —
+// with the level's points keyed by mode. An onLevel error cancels the
+// sweep; StreamLevels always drains the stream before returning, so
+// callers never strand the producer's workers.
+func (r *Runner) StreamLevels(ctx context.Context, traces []*trace.Trace, modes []circuit.Mode, levels []circuit.Millivolts, onLevel func(circuit.Millivolts, map[circuit.Mode]*Point) error) error {
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	grid := make(map[circuit.Mode]map[circuit.Millivolts]*Point, len(modes))
+	for _, m := range modes {
+		grid[m] = make(map[circuit.Millivolts]*Point, len(levels))
+	}
+	next := 0 // first level not yet handed to onLevel
+	var firstErr error
+	for u := range r.SweepStream(sctx, traces, modes, levels) {
+		if u.Err != nil {
+			if firstErr == nil {
+				firstErr = u.Err
+			}
+			continue
+		}
+		if firstErr != nil {
+			continue // already failing: drain without emitting
+		}
+		grid[u.Mode][u.Vcc] = u.Point
+		for next < len(levels) {
+			v := levels[next]
+			row := make(map[circuit.Mode]*Point, len(modes))
+			for _, m := range modes {
+				if p := grid[m][v]; p != nil {
+					row[m] = p
+				}
+			}
+			if len(row) < len(modes) {
+				break // a slower earlier level gates emission order
+			}
+			if err := onLevel(v, row); err != nil {
+				firstErr = err
+				cancel() // stop producing; keep draining
+				break
+			}
+			next++
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// SweepStream runs the (modes x levels) grid and emits each operating
+// point as soon as its last trace cell lands: per-trace results merge in
+// trace order, so every emitted Point is bit-identical to what the batch
+// Sweep reports for that (mode, level). Emission order follows completion;
+// on failure one terminal update carries the error and the channel closes.
+// Consumers must drain the channel (cancel ctx to abandon early).
+func (r *Runner) SweepStream(ctx context.Context, traces []*trace.Trace, modes []circuit.Mode, levels []circuit.Millivolts) <-chan SweepUpdate {
+	specs := sweepSpecs(traces, modes, levels)
+	out := make(chan SweepUpdate)
+	go func() {
+		defer close(out)
+		type pointState struct {
+			results   []*core.Result
+			remaining int
+		}
+		states := make([]pointState, len(specs))
+		for i := range specs {
+			states[i] = pointState{results: make([]*core.Result, len(traces)), remaining: len(traces)}
+		}
+		done := 0
+		emit := func(u SweepUpdate) {
+			u.Done, u.Total = done, len(specs)
+			select {
+			case out <- u:
+			case <-ctx.Done():
+			}
+		}
+		for u := range r.Stream(ctx, specs) {
+			if u.Err != nil {
+				emit(SweepUpdate{Err: u.Err})
+				continue
+			}
+			st := &states[u.Point]
+			st.results[u.Trace] = u.Result
+			if st.remaining--; st.remaining == 0 {
+				mode := modes[u.Point/len(levels)]
+				v := levels[u.Point%len(levels)]
+				done++
+				emit(SweepUpdate{
+					Mode: mode, Vcc: v,
+					Point:    &Point{Vcc: v, Mode: mode, Agg: core.MergeResults(st.results)},
+					PerTrace: st.results,
+				})
+			}
+		}
+	}()
+	return out
+}

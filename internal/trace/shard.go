@@ -1,0 +1,73 @@
+package trace
+
+import "fmt"
+
+// Window is one sample window of a longer trace: a measured span plus a
+// warm-up prefix of earlier instructions that is replayed before measurement
+// starts, so the window begins with realistic cache, TLB and predictor
+// state instead of a cold core. The window's Trace shares the parent's
+// backing array — sharding never copies instructions.
+//
+// Windows follow the sample-window methodology of large-core evaluations:
+// a long workload is partitioned into fixed-size measurement intervals,
+// each preceded by a functional warm-up interval whose statistics are
+// discarded. Window 0 has no prefix (there is nothing before instruction
+// 0); its measured span starts cold, exactly like the head of a whole
+// production trace.
+type Window struct {
+	// Trace is the executable sub-trace: Warm warm-up instructions followed
+	// by the measured span.
+	Trace *Trace
+	// Warm is the number of leading instructions excluded from measurement.
+	Warm int
+	// Start and End delimit the measured span [Start, End) in the parent.
+	Start, End int
+	// Index and Count identify this window in the shard plan.
+	Index, Count int
+}
+
+// Shard cuts t into deterministic sample windows of windowInsts measured
+// instructions each (the last window takes the remainder), with up to
+// warmInsts instructions of warm-up prefix per window. The plan is a pure
+// function of (len(t.Insts), windowInsts, warmInsts): the same inputs
+// always produce the same boundaries, which is what makes sharded
+// execution independent of worker count and scheduling.
+//
+// windowInsts <= 0 or >= len(t.Insts) disables sharding: the result is a
+// single window covering the whole trace with no prefix, and the window's
+// Trace is t itself, so downstream consumers follow the exact unsharded
+// path.
+func Shard(t *Trace, windowInsts, warmInsts int) []Window {
+	n := len(t.Insts)
+	if windowInsts <= 0 || windowInsts >= n {
+		return []Window{{Trace: t, Warm: 0, Start: 0, End: n, Index: 0, Count: 1}}
+	}
+	if warmInsts < 0 {
+		warmInsts = 0
+	}
+	count := (n + windowInsts - 1) / windowInsts
+	windows := make([]Window, 0, count)
+	for i := 0; i < count; i++ {
+		start := i * windowInsts
+		end := start + windowInsts
+		if end > n {
+			end = n
+		}
+		warm := warmInsts
+		if warm > start {
+			warm = start
+		}
+		windows = append(windows, Window{
+			Trace: &Trace{
+				Name:  fmt.Sprintf("%s@%d/%d", t.Name, i, count),
+				Insts: t.Insts[start-warm : end],
+			},
+			Warm:  warm,
+			Start: start,
+			End:   end,
+			Index: i,
+			Count: count,
+		})
+	}
+	return windows
+}

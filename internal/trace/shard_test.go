@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"testing"
+
+	"lowvcc/internal/isa"
+)
+
+func mkTrace(n int) *Trace {
+	t := &Trace{Name: "shardable"}
+	for i := 0; i < n; i++ {
+		t.Insts = append(t.Insts, Inst{
+			PC: uint64(0x1000 + 4*i), Op: isa.OpALU,
+			Dst: isa.Reg(i % 8), Src1: isa.RegNone, Src2: isa.RegNone,
+		})
+	}
+	return t
+}
+
+func TestShardDisabled(t *testing.T) {
+	tr := mkTrace(100)
+	for _, w := range []int{0, -1, 100, 500} {
+		ws := Shard(tr, w, 25)
+		if len(ws) != 1 {
+			t.Fatalf("windowInsts=%d: got %d windows, want 1", w, len(ws))
+		}
+		if ws[0].Trace != tr {
+			t.Errorf("windowInsts=%d: single window must be the parent trace itself", w)
+		}
+		if ws[0].Warm != 0 || ws[0].Start != 0 || ws[0].End != 100 {
+			t.Errorf("windowInsts=%d: bad window %+v", w, ws[0])
+		}
+	}
+}
+
+func TestShardPartition(t *testing.T) {
+	tr := mkTrace(1000)
+	for _, tc := range []struct{ win, warm int }{{100, 0}, {100, 30}, {333, 50}, {999, 10}, {1, 5}} {
+		ws := Shard(tr, tc.win, tc.warm)
+		next := 0
+		for i, w := range ws {
+			if w.Index != i || w.Count != len(ws) {
+				t.Fatalf("win=%d: window %d has Index=%d Count=%d", tc.win, i, w.Index, w.Count)
+			}
+			if w.Start != next {
+				t.Fatalf("win=%d: window %d starts at %d, want %d (gap or overlap)", tc.win, i, w.Start, next)
+			}
+			if got := w.End - w.Start + w.Warm; got != len(w.Trace.Insts) {
+				t.Fatalf("win=%d: window %d spans %d insts but carries %d", tc.win, i, got, len(w.Trace.Insts))
+			}
+			if w.Warm > tc.warm || (i > 0 && w.Warm != min(tc.warm, w.Start)) {
+				t.Fatalf("win=%d: window %d warm=%d (want min(%d, %d))", tc.win, i, w.Warm, tc.warm, w.Start)
+			}
+			// The sub-trace must alias the parent's instructions exactly.
+			if &w.Trace.Insts[0] != &tr.Insts[w.Start-w.Warm] {
+				t.Fatalf("win=%d: window %d copies instructions instead of sharing", tc.win, i)
+			}
+			next = w.End
+		}
+		if next != 1000 {
+			t.Fatalf("win=%d: windows cover [0, %d), want [0, 1000)", tc.win, next)
+		}
+	}
+}
+
+func TestShardDeterministic(t *testing.T) {
+	tr := mkTrace(777)
+	a := Shard(tr, 128, 32)
+	b := Shard(tr, 128, 32)
+	if len(a) != len(b) {
+		t.Fatal("shard plan not deterministic")
+	}
+	for i := range a {
+		if a[i].Start != b[i].Start || a[i].End != b[i].End || a[i].Warm != b[i].Warm ||
+			a[i].Trace.Name != b[i].Trace.Name {
+			t.Fatalf("window %d differs between identical Shard calls", i)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"fmt"
 	"sync"
 
 	"lowvcc/internal/trace"
@@ -150,6 +151,24 @@ func Phased(phases []Profile, instsPerPhase int, seed uint64) *trace.Trace {
 		tr := Generate(p, instsPerPhase, seed+uint64(i)*7919)
 		out.Insts = append(out.Insts, tr.Insts...)
 	}
+	return out
+}
+
+// LongTrace generates one long mixed-behaviour trace of about n
+// instructions — the sharded-execution stand-in for the paper's
+// 10M-instruction production traces. The paper-aligned classes rotate in
+// fixed phases, so the trace moves through compute bursts, memory sweeps
+// and branchy control the way a production workload does; generation is
+// deterministic in (n, seed). For n below one phase per class it degrades
+// to a single SpecInt trace.
+func LongTrace(n int, seed uint64) *trace.Trace {
+	profiles := Profiles()
+	perPhase := n / len(profiles)
+	if perPhase < 1 {
+		return Generate(SpecInt(), n, seed)
+	}
+	out := Phased(profiles, perPhase, seed)
+	out.Name = fmt.Sprintf("long-%d-%d", n, seed)
 	return out
 }
 
