@@ -12,11 +12,45 @@
 // Data arrays are backed by sram.Array, so stabilization windows, violating
 // reads and set-wide collateral destruction are modelled physically, and the
 // integration tests can prove the avoidance policies keep data intact.
+//
+// # Cached set state
+//
+// The access hot path works from per-set summaries instead of per-access
+// recomputation, with these invariants (all equivalence-fuzzed against the
+// summary-free slow paths, which remain selectable via SetFastPaths(false)):
+//
+//   - Address decomposition (lineShift/tagShift/setMask) is precomputed at
+//     construction and never changes.
+//   - validMask/disabledMask mirror the valid/disabled flags bit-per-way and
+//     are updated at the only places those flags change: Fill, Invalidate,
+//     and DisableFaultyLines. Lookup/Peek/Victim scan only the live ways.
+//     The masks say nothing about validFrom — a set bit can still lose the
+//     cycle comparison, exactly as in the full scan.
+//   - The fault map (disabledMask) changes only on DisableFaultyLines, i.e.
+//     on a vcc/mode reconfiguration; nothing on the access path writes it.
+//   - tagSum mirrors the live ways' tags as one 8-bit fold per way,
+//     rewritten only by Fill; lruOrder mirrors the lru tick ranking as a
+//     packed recency list, moved only by touchLRU. Lookup resolves the set
+//     in one SWAR compare (full tags verify candidates) and Victim reads
+//     the LRU way off the packed order.
+//   - The sram.Array keeps per-set ready bounds and corrupt counts,
+//     maintained on every write/scramble; a read consults them to skip the
+//     set-wide slot walk, and the hierarchy reads corrupt counts in O(1).
+//     Only a write or a violation scramble can invalidate those summaries.
+//   - The in-flight fill (MSHR) records are generational: two maps rotated
+//     one access-time horizon apart, the older dropped wholesale once none
+//     of its records can be consulted again (see MarkInFlight) —
+//     observably identical to the lazily pruned map.
+//   - The hierarchy's integrity-oracle state is lazy and bounded: line
+//     signatures memoize until the line is written (bumpLineVer refreshes
+//     in place), and version records are dropped when their line leaves
+//     the DL0, the only place signatures are ever compared (see missFlow).
 package cache
 
 import (
 	"encoding/binary"
 	"fmt"
+	"math/bits"
 
 	"lowvcc/internal/rng"
 	"lowvcc/internal/sram"
@@ -37,8 +71,8 @@ func (c Config) validate() error {
 	if c.Sets <= 0 || c.Sets&(c.Sets-1) != 0 {
 		return fmt.Errorf("cache %q: Sets %d must be a positive power of two", c.Name, c.Sets)
 	}
-	if c.Ways <= 0 {
-		return fmt.Errorf("cache %q: Ways %d must be positive", c.Name, c.Ways)
+	if c.Ways <= 0 || c.Ways > 64 {
+		return fmt.Errorf("cache %q: Ways %d must be in [1,64] (per-set way masks)", c.Name, c.Ways)
 	}
 	if c.LineBytes <= 0 || c.LineBytes&(c.LineBytes-1) != 0 {
 		return fmt.Errorf("cache %q: LineBytes %d must be a positive power of two", c.Name, c.LineBytes)
@@ -80,9 +114,46 @@ type Cache struct {
 	lruTick   uint64
 	// inflight tracks outstanding fills per line (MSHR semantics): a
 	// second miss to an in-flight line merges with it instead of issuing a
-	// duplicate request.
-	inflight map[uint64]int64
-	data     *sram.Array
+	// duplicate request. Expired records are dropped lazily on probe; on
+	// the fast path the records are generational (inflight + inflightOld,
+	// see MarkInFlight) so streaming miss traffic cannot accumulate one
+	// stale record per line ever missed.
+	inflight    map[uint64]int64
+	inflightOld map[uint64]int64
+	// inflightHigh is the newest completion stamp ever registered;
+	// inflightRotate is the next stamp at which the generations rotate,
+	// one inflightHorizon (grown via EnsureInFlightHorizon as the memory
+	// round trip grows) past the previous rotation.
+	inflightHigh    int64
+	inflightRotate  int64
+	inflightHorizon int64
+	data            *sram.Array
+
+	// validMask and disabledMask summarize the valid/disabled flags of each
+	// set, bit per way; waysMask covers the configured ways. See the
+	// package-doc invariants.
+	validMask    []uint64
+	disabledMask []uint64
+	waysMask     uint64
+	// lruOrder caches each set's recency order as packed 4-bit way indices,
+	// least-recent in the low nibble — the same order the lru tick array
+	// encodes, updated at the only place ticks are granted (touch). Victim
+	// reads the LRU way from the low end instead of rescanning all ways'
+	// ticks. Maintained only when Ways <= 8 (lruPacked); larger
+	// configurations fall back to the tick scan.
+	lruOrder  []uint32
+	lruPacked bool
+	// tagSum packs an 8-bit fold of each way's tag into one word per set
+	// (byte w = fold of way w's tag, maintained at the only place tags
+	// change: Fill). Lookup compares all ways in one SWAR operation and
+	// verifies only candidate bytes against the full tags, so the common
+	// miss costs no per-way tag loads. Allocated only when Ways <= 8.
+	tagSum []uint64
+	// noFast disables the summary-driven fast paths (Lookup/Victim/Peek
+	// bit-scans, MSHR sweeping) in favour of the original full scans — the
+	// benchmark baseline and equivalence-fuzz reference. Flip it only right
+	// after construction (SetFastPaths).
+	noFast bool
 	// holds tracks port-busy cycles (fill stabilization windows,
 	// Store-Table replays). A fill completing at a future cycle holds the
 	// ports only during its window, not from the present.
@@ -113,15 +184,19 @@ func New(cfg Config) (*Cache, error) {
 		return nil, err
 	}
 	c := &Cache{
-		cfg:       cfg,
-		tags:      make([]uint64, entries),
-		valid:     make([]bool, entries),
-		dirty:     make([]bool, entries),
-		disabled:  make([]bool, entries),
-		validFrom: make([]int64, entries),
-		lru:       make([]uint64, entries),
-		inflight:  make(map[uint64]int64),
-		data:      data,
+		cfg:             cfg,
+		tags:            make([]uint64, entries),
+		valid:           make([]bool, entries),
+		dirty:           make([]bool, entries),
+		disabled:        make([]bool, entries),
+		validFrom:       make([]int64, entries),
+		lru:             make([]uint64, entries),
+		inflight:        make(map[uint64]int64),
+		data:            data,
+		validMask:       make([]uint64, cfg.Sets),
+		disabledMask:    make([]uint64, cfg.Sets),
+		waysMask:        uint64(1)<<uint(cfg.Ways) - 1,
+		inflightHorizon: minInflightHorizon,
 	}
 	for c.lineShift = 0; 1<<c.lineShift < cfg.LineBytes; c.lineShift++ {
 	}
@@ -130,7 +205,50 @@ func New(cfg Config) (*Cache, error) {
 		c.tagShift++
 	}
 	c.setMask = uint64(cfg.Sets - 1)
+	if cfg.Ways <= 8 {
+		c.lruPacked = true
+		c.lruOrder = make([]uint32, cfg.Sets)
+		var ident uint32
+		for w := cfg.Ways - 1; w >= 0; w-- {
+			ident = ident<<4 | uint32(w)
+		}
+		for s := range c.lruOrder {
+			c.lruOrder[s] = ident
+		}
+		c.tagSum = make([]uint64, cfg.Sets)
+	}
 	return c, nil
+}
+
+// tagFold is the 8-bit per-way tag digest stored in tagSum. Equal tags
+// always fold equally (no false negatives); fold collisions only cost a
+// full-tag verify.
+func tagFold(tag uint64) uint64 { return (tag ^ tag>>8) & 0xFF }
+
+// touchLRU grants (set, way) the next recency tick and, on the fast path,
+// moves it to the most-recent end of the set's packed order. Ticks and
+// packed order encode the same recency ranking: never-touched ways sort by
+// ascending way index (the packed order's initial state, matching the tick
+// scan's lowest-way tie-break on equal zero ticks), touched ways by tick.
+func (c *Cache) touchLRU(set, way int) {
+	c.lruTick++
+	c.lru[set*c.cfg.Ways+way] = c.lruTick
+	// Maintained regardless of noFast — like every other summary — so
+	// SetFastPaths can be flipped without leaving a stale order behind.
+	if !c.lruPacked {
+		return
+	}
+	ord := c.lruOrder[set]
+	top := 4 * uint(c.cfg.Ways-1)
+	if ord>>top&0xF == uint32(way) {
+		return // already most-recent: repeated hits to a hot way are free
+	}
+	// SWAR find of way's nibble, then splice it out and append at the top.
+	x := ord ^ uint32(way)*0x11111111
+	pos := uint(bits.TrailingZeros32((x-0x11111111)&^x&0x88888888)) &^ 3
+	low := ord & (1<<pos - 1)
+	high := ord >> (pos + 4)
+	c.lruOrder[set] = low | high<<pos | uint32(way)<<top
 }
 
 // MustNew is New for static configurations.
@@ -144,6 +262,16 @@ func MustNew(cfg Config) *Cache {
 
 // Config returns the cache configuration.
 func (c *Cache) Config() Config { return c.cfg }
+
+// SetFastPaths enables or disables the cached-set-state fast paths of this
+// block and its backing sram array (enabled by default). The summaries are
+// maintained either way; the flag selects whether the access path consults
+// them. Benchmark-baseline and equivalence-test hook: flip it only right
+// after construction.
+func (c *Cache) SetFastPaths(enabled bool) {
+	c.noFast = !enabled
+	c.data.SetFastPath(enabled)
+}
 
 // Stats returns a snapshot of the counters.
 func (c *Cache) Stats() Stats { return c.stats }
@@ -282,16 +410,56 @@ func (c *Cache) WaitPorts(cycle int64) int64 {
 
 // Lookup probes the cache at the given cycle. On a hit it updates LRU and
 // returns the way. It does not touch the data array (see ReadData).
+//
+// The fast path scans only the live (valid, enabled) ways from the per-set
+// mask, in the same ascending-way order as the full scan, so it hits the
+// same way; an empty set short-circuits to a miss without touching the
+// entry arrays at all.
 func (c *Cache) Lookup(cycle int64, addr uint64) (way int, hit bool) {
 	c.stats.Accesses++
 	set := c.SetOf(addr)
 	tag := c.tagOf(addr)
+	if !c.noFast {
+		base := set * c.cfg.Ways
+		if c.tagSum != nil {
+			// SWAR probe: all ways' tag folds compared in one word op;
+			// only candidate bytes (fold matches — or the zero-byte
+			// detector's occasional false positive, which the full-tag
+			// verify rejects) touch the entry arrays. Candidates surface
+			// in ascending way order, like the scan.
+			live := c.validMask[set] &^ c.disabledMask[set]
+			x := c.tagSum[set] ^ tagFold(tag)*0x0101010101010101
+			for cand := (x - 0x0101010101010101) &^ x & 0x8080808080808080; cand != 0; cand &= cand - 1 {
+				w := bits.TrailingZeros64(cand) >> 3
+				if live>>uint(w)&1 == 0 {
+					continue
+				}
+				e := base + w
+				if c.tags[e] == tag && cycle >= c.validFrom[e] {
+					c.stats.Hits++
+					c.touchLRU(set, w)
+					return w, true
+				}
+			}
+			c.stats.Misses++
+			return 0, false
+		}
+		for m := c.validMask[set] &^ c.disabledMask[set]; m != 0; m &= m - 1 {
+			e := base + bits.TrailingZeros64(m)
+			if c.tags[e] == tag && cycle >= c.validFrom[e] {
+				c.stats.Hits++
+				c.touchLRU(set, e-base)
+				return e - base, true
+			}
+		}
+		c.stats.Misses++
+		return 0, false
+	}
 	for w := 0; w < c.cfg.Ways; w++ {
 		e := c.entry(set, w)
 		if c.valid[e] && !c.disabled[e] && c.tags[e] == tag && cycle >= c.validFrom[e] {
 			c.stats.Hits++
-			c.lruTick++
-			c.lru[e] = c.lruTick
+			c.touchLRU(set, w)
 			return w, true
 		}
 	}
@@ -321,26 +489,99 @@ func (c *Cache) LookupAt(cycle int64, addr uint64, way int) bool {
 	// earlier way also matches, the memoized way is not the one Lookup
 	// would pick — fall back so the LRU touch lands exactly where the full
 	// scan would put it.
-	for w := 0; w < way; w++ {
-		pe := c.entry(set, w)
-		if c.valid[pe] && !c.disabled[pe] && c.tags[pe] == tag && cycle >= c.validFrom[pe] {
-			return false
+	if !c.noFast {
+		base := set * c.cfg.Ways
+		earlier := c.validMask[set] &^ c.disabledMask[set] & (uint64(1)<<uint(way) - 1)
+		for m := earlier; m != 0; m &= m - 1 {
+			pe := base + bits.TrailingZeros64(m)
+			if c.tags[pe] == tag && cycle >= c.validFrom[pe] {
+				return false
+			}
+		}
+	} else {
+		for w := 0; w < way; w++ {
+			pe := c.entry(set, w)
+			if c.valid[pe] && !c.disabled[pe] && c.tags[pe] == tag && cycle >= c.validFrom[pe] {
+				return false
+			}
 		}
 	}
 	c.stats.Accesses++
 	c.stats.Hits++
-	c.lruTick++
-	c.lru[e] = c.lruTick
+	c.touchLRU(set, way)
 	return true
 }
 
 // MarkInFlight registers an outstanding fill of line completing at ready.
-func (c *Cache) MarkInFlight(line uint64, ready int64) { c.inflight[line] = ready }
+//
+// On the fast path the records are generational: inserts go to the current
+// generation, and when the newest completion stamp crosses the rotation
+// point (one holdCal horizon past the previous rotation) the current
+// generation becomes the old one and the previous old generation is dropped
+// wholesale. A dropped record was registered more than a full horizon
+// (inflightHorizon) below the newest stamp, and access times trail the
+// newest stamp by at most a TLB walk plus a memory round trip, so no
+// future probe could have consulted it: dropping is
+// observably identical to the lazy per-probe pruning, with no sweep scans,
+// and the live maps stay at working-set size instead of accumulating one
+// stale record per line ever missed.
+func (c *Cache) MarkInFlight(line uint64, ready int64) {
+	if c.noFast {
+		c.inflight[line] = ready
+		return
+	}
+	if ready > c.inflightHigh {
+		c.inflightHigh = ready
+		if ready >= c.inflightRotate {
+			// The dropped generation's map is recycled as the new current
+			// one: steady-state rotation allocates nothing.
+			dropped := c.inflightOld
+			c.inflightOld = c.inflight
+			if dropped == nil {
+				dropped = make(map[uint64]int64, len(c.inflightOld))
+			} else {
+				clear(dropped)
+			}
+			c.inflight = dropped
+			c.inflightRotate = ready + c.inflightHorizon
+		}
+	}
+	c.inflight[line] = ready
+}
+
+// minInflightHorizon floors the generation width of the MSHR record maps.
+// The width must exceed how far an access time can trail the newest
+// registered completion stamp: a completion stamp leads its access by one
+// memory round trip, and concurrent I-/D-side access times skew by at most
+// a TLB wait+walk, port-hold windows, and a fill-buffer full stall — a few
+// round trips end to end, the same skew bound the hold calendar's horizon
+// builds on. The hierarchy scales the horizon with the configured round
+// trip (EnsureInFlightHorizon); 2048 covers the default plans (round trip
+// <= ~240 cycles) with >2x slack while keeping each generation small
+// enough to stay cache-resident.
+const minInflightHorizon = 1 << 11
+
+// EnsureInFlightHorizon raises the MSHR generation width to at least h.
+// Bump-only: a later, smaller timing mode must not shrink the horizon,
+// because records registered under the earlier mode still rely on the
+// wider bound before they can be dropped.
+func (c *Cache) EnsureInFlightHorizon(h int64) {
+	if h > c.inflightHorizon {
+		c.inflightHorizon = h
+	}
+}
 
 // InFlightReady reports an outstanding fill of line that completes at or
-// after `now`; expired records are dropped lazily.
+// after `now`; expired records are dropped lazily. The current generation
+// shadows the old one, exactly as a re-registration overwrites a map entry.
 func (c *Cache) InFlightReady(line uint64, now int64) (int64, bool) {
 	r, ok := c.inflight[line]
+	if !ok && c.inflightOld != nil {
+		if r, ok = c.inflightOld[line]; ok && r < now {
+			delete(c.inflightOld, line)
+			return 0, false
+		}
+	}
 	if !ok {
 		return 0, false
 	}
@@ -355,6 +596,15 @@ func (c *Cache) InFlightReady(line uint64, now int64) (int64, bool) {
 func (c *Cache) Peek(addr uint64) bool {
 	set := c.SetOf(addr)
 	tag := c.tagOf(addr)
+	if !c.noFast {
+		base := set * c.cfg.Ways
+		for m := c.validMask[set] &^ c.disabledMask[set]; m != 0; m &= m - 1 {
+			if c.tags[base+bits.TrailingZeros64(m)] == tag {
+				return true
+			}
+		}
+		return false
+	}
 	for w := 0; w < c.cfg.Ways; w++ {
 		e := c.entry(set, w)
 		if c.valid[e] && !c.disabled[e] && c.tags[e] == tag {
@@ -386,8 +636,43 @@ func (c *Cache) WriteData(cycle int64, set, way int, sig uint64) {
 // Victim selects the fill way for addr's set: an invalid enabled way if one
 // exists, else the LRU enabled way. ok is false when every way of the set
 // is disabled (Faulty-Bits), in which case the line cannot be cached.
+//
+// The fast path answers the two common cases from the set masks alone: a
+// free enabled way is the lowest bit of enabled&^valid (the same way the
+// ascending scan would return), and the LRU scan walks only enabled ways.
+// Ties on the LRU tick break toward the lowest way in both paths.
 func (c *Cache) Victim(addr uint64) (way int, ok bool) {
 	set := c.SetOf(addr)
+	if !c.noFast {
+		enabled := c.waysMask &^ c.disabledMask[set]
+		if free := enabled &^ c.validMask[set]; free != 0 {
+			return bits.TrailingZeros64(free), true
+		}
+		if enabled == 0 {
+			return 0, false
+		}
+		if c.lruPacked {
+			// All enabled ways valid: the victim is the least-recent
+			// enabled way, read off the packed order's low end.
+			ord := c.lruOrder[set]
+			for {
+				w := int(ord & 0xF)
+				if enabled>>uint(w)&1 == 1 {
+					return w, true
+				}
+				ord >>= 4
+			}
+		}
+		base := set * c.cfg.Ways
+		best, bestTick := -1, uint64(0)
+		for m := enabled; m != 0; m &= m - 1 {
+			w := bits.TrailingZeros64(m)
+			if t := c.lru[base+w]; best < 0 || t < bestTick {
+				best, bestTick = w, t
+			}
+		}
+		return best, true
+	}
 	best, bestTick := -1, uint64(0)
 	for w := 0; w < c.cfg.Ways; w++ {
 		e := c.entry(set, w)
@@ -429,11 +714,15 @@ func (c *Cache) Fill(cycle int64, addr uint64, sig uint64) (victimAddr uint64, d
 		}
 	}
 	c.tags[e] = c.tagOf(addr)
+	if c.tagSum != nil {
+		sh := uint(8 * way)
+		c.tagSum[set] = c.tagSum[set]&^(0xFF<<sh) | tagFold(c.tags[e])<<sh
+	}
 	c.valid[e] = true
+	c.validMask[set] |= 1 << uint(way)
 	c.dirty[e] = false
 	c.validFrom[e] = cycle + 1 // readable the cycle after the fill write
-	c.lruTick++
-	c.lru[e] = c.lruTick
+	c.touchLRU(set, way)
 	c.WriteData(cycle, set, way, sig)
 	c.stats.Fills++
 	// The fill write occupies the ports during its own cycle in every
@@ -475,6 +764,7 @@ func (c *Cache) Invalidate(addr uint64) bool {
 		e := c.entry(set, w)
 		if c.valid[e] && c.tags[e] == tag {
 			c.valid[e] = false
+			c.validMask[set] &^= 1 << uint(w)
 			c.dirty[e] = false
 			return true
 		}
@@ -492,6 +782,9 @@ func (c *Cache) DisableFaultyLines(src *rng.Source, lineFailProb float64) int {
 		if src.Bool(lineFailProb) {
 			c.disabled[e] = true
 			c.valid[e] = false
+			set, way := e/c.cfg.Ways, e%c.cfg.Ways
+			c.disabledMask[set] |= 1 << uint(way)
+			c.validMask[set] &^= 1 << uint(way)
 			disabled++
 		}
 	}

@@ -106,7 +106,27 @@ type Hierarchy struct {
 
 	// lineVer is the integrity oracle: the store version of each line.
 	lineVer map[uint64]uint32
-	stats   HierarchyStats
+	// sigMemo is the lazy oracle cache: a small direct-mapped memo of line
+	// signatures, keyed by line address. A slot is trusted only while its
+	// recorded version is current, and the only writer of lineVer
+	// (CommitStore) refreshes the matching slot in place, so a memo hit can
+	// skip both the version lookup and the signature hash. Slots cover the
+	// line/page mix one access touches (DL0 line, UL1 line, TLB page).
+	sigMemo [sigMemoSlots]sigMemoEntry
+	// noSigMemo disables the signature memo (fast-vs-slow test hook).
+	noSigMemo bool
+	stats     HierarchyStats
+}
+
+// sigMemoSlots sizes the signature memo; must be a power of two.
+const sigMemoSlots = 8
+
+// sigMemoEntry is one memoized (line, version) -> signature binding.
+type sigMemoEntry struct {
+	line  uint64
+	sig   uint64
+	ver   uint32
+	valid bool
 }
 
 // tlbMemo is one TLB's last-translation memo.
@@ -172,6 +192,11 @@ func (h *Hierarchy) SetMode(m TimingMode) {
 	h.mode = m
 	for _, c := range []*Cache{h.IL0, h.DL0, h.UL1, h.ITLB, h.DTLB} {
 		c.SetIRAW(m.Interrupted, m.N, m.Avoid)
+		// MSHR generations must outlive the largest access-time skew: a
+		// few off-chip round trips of completion lead plus TLB walks and
+		// stabilization holds, each an independent config knob. 8x the sum
+		// matches the default plans' slack factor.
+		c.EnsureInFlightHorizon(8 * int64(m.MemCycles+h.cfg.PageWalkCycles+m.N))
 	}
 	h.FB.SetIRAW(m.Interrupted, m.N, m.Avoid)
 	h.WCB.SetIRAW(m.Interrupted, m.N, m.Avoid)
@@ -182,18 +207,65 @@ func (h *Hierarchy) SetMode(m TimingMode) {
 	}
 }
 
-// sig computes the oracle line signature for a line at its current version.
-func (h *Hierarchy) sig(line uint64) uint64 {
-	v := uint64(h.lineVer[line])
-	x := line ^ v<<48 ^ 0x9e3779b97f4a7c15
+// computeSig hashes (line, version) into the oracle signature.
+func computeSig(line uint64, v uint32) uint64 {
+	x := line ^ uint64(v)<<48 ^ 0x9e3779b97f4a7c15
 	x ^= x >> 30
 	x *= 0xbf58476d1ce4e5b9
 	x ^= x >> 27
 	return x
 }
 
-// tlbCheck translates addr through the given TLB, returning the cycle at
-// which translation is available.
+// sig returns the oracle line signature for a line at its current version,
+// lazily: the hash is computed on first touch and memoized until the line
+// is written (bumpLineVer refreshes the slot in place) or the slot is
+// reused for another line. A valid slot's version is always current —
+// CommitStore is the only version writer and it goes through bumpLineVer —
+// so a memo hit serves the signature without consulting the version map.
+func (h *Hierarchy) sig(line uint64) uint64 {
+	if !h.noSigMemo {
+		e := &h.sigMemo[(line>>6)&(sigMemoSlots-1)]
+		if e.valid && e.line == line {
+			return e.sig
+		}
+		v := h.lineVer[line]
+		s := computeSig(line, v)
+		*e = sigMemoEntry{line: line, sig: s, ver: v, valid: true}
+		return s
+	}
+	return computeSig(line, h.lineVer[line])
+}
+
+// bumpLineVer advances the oracle version of line (a committed store) and
+// refreshes the memoized signature so a stale one can never be served.
+func (h *Hierarchy) bumpLineVer(line uint64) {
+	v := h.lineVer[line] + 1
+	h.lineVer[line] = v
+	if !h.noSigMemo {
+		h.sigMemo[(line>>6)&(sigMemoSlots-1)] = sigMemoEntry{
+			line: line, sig: computeSig(line, v), ver: v, valid: true,
+		}
+	}
+}
+
+// SetFastPaths enables or disables every hierarchy-level fast path — the
+// cached set state of all five cache blocks and their sram arrays, the
+// per-set corrupt-count summary, the lazy signature memo, and the STable
+// probe early-outs (enabled by default). The TLB translation memo has its
+// own equivalence-tested hook and is not affected. Benchmark-baseline and
+// equivalence-test hook; call right after construction.
+func (h *Hierarchy) SetFastPaths(enabled bool) {
+	for _, c := range []*Cache{h.IL0, h.DL0, h.UL1, h.ITLB, h.DTLB} {
+		c.SetFastPaths(enabled)
+	}
+	h.noSigMemo = !enabled
+	h.STab.SetFastPath(enabled)
+}
+
+// translate runs addr through the given TLB and reports the cycle at which
+// translation is available plus whether the access walked (was delayed at
+// all). It is the single shared front half of FetchInst, Load and
+// CommitStore — one memo guard instead of three near-identical call sites.
 //
 // The memo fast path handles the dominant case — a repeat access to the
 // page this TLB translated last, with no port hold pending at cycle — in
@@ -202,22 +274,22 @@ func (h *Hierarchy) sig(line uint64) uint64 {
 // waits zero and charges nothing. Anything else (page change, hold, memo
 // miss on a changed entry) falls back to the full path, which keeps the
 // memo exactly equivalent to always scanning.
-func (h *Hierarchy) tlbCheck(tlb *Cache, memo *tlbMemo, cycle int64, addr uint64) int64 {
+func (h *Hierarchy) translate(tlb *Cache, memo *tlbMemo, cycle int64, addr uint64) (t int64, walked bool) {
 	if memo.valid && !h.noTLBMemo && memo.page == tlb.LineAddr(addr) && !tlb.Busy(cycle) {
 		if tlb.LookupAt(cycle, addr, memo.way) {
-			return cycle
+			return cycle, false
 		}
 	}
-	t := tlb.WaitPorts(cycle)
+	t = tlb.WaitPorts(cycle)
 	if way, hit := tlb.Lookup(t, addr); hit {
 		memo.page, memo.way, memo.valid = tlb.LineAddr(addr), way, true
-		return t
+		return t, t != cycle
 	}
 	memo.valid = false // the walk's fill is not readable until after t
 	h.stats.TLBWalks++
 	t += int64(h.cfg.PageWalkCycles)
 	tlb.Fill(t, addr, h.sig(tlb.LineAddr(addr)))
-	return t
+	return t, t != cycle
 }
 
 // ul1Access reads (or writes) a line in UL1, going to memory on a miss.
@@ -287,6 +359,20 @@ func (h *Hierarchy) missFlow(l1 *Cache, cycle int64, addr uint64) int64 {
 			ready = wstart
 		}
 	}
+	if evicted && l1 == h.DL0 && !h.noSigMemo {
+		// Oracle garbage collection (fast path): a signature is only ever
+		// *compared* for a DL0-resident line — UL1/IL0/TLB copies are
+		// written but never checked — and every DL0 fill rewrites the
+		// line's signature at the then-current version. So once a line
+		// leaves the DL0 its version history is unreachable: the version
+		// restarts at zero on refill, consistently on both the write and
+		// the compare side. Dropping the record keeps the oracle map at
+		// DL0 size instead of one entry per line ever stored.
+		delete(h.lineVer, victim)
+		if e := &h.sigMemo[(victim>>6)&(sigMemoSlots-1)]; e.line == victim {
+			e.valid = false
+		}
+	}
 	return ready
 }
 
@@ -302,8 +388,8 @@ type FetchResult struct {
 func (h *Hierarchy) FetchInst(cycle int64, pc uint64) FetchResult {
 	h.stats.Fetches++
 	var res FetchResult
-	t := h.tlbCheck(h.ITLB, &h.itlbMemo, cycle, pc)
-	res.Walked = t != cycle
+	t, walked := h.translate(h.ITLB, &h.itlbMemo, cycle, pc)
+	res.Walked = walked
 	t = h.IL0.WaitPorts(t)
 	if way, hit := h.IL0.Lookup(t, pc); hit {
 		h.IL0.ReadData(t, h.IL0.SetOf(pc), way)
@@ -336,8 +422,8 @@ func (h *Hierarchy) Load(cycle int64, addr uint64) LoadResult {
 	if cycle < h.dFreeAt {
 		cycle = h.dFreeAt
 	}
-	t := h.tlbCheck(h.DTLB, &h.dtlbMemo, cycle, addr)
-	res.Walked = t != cycle
+	t, walked := h.translate(h.DTLB, &h.dtlbMemo, cycle, addr)
+	res.Walked = walked
 	t = h.DL0.WaitPorts(t)
 	h.dFreeAt = t + 1
 
@@ -413,8 +499,13 @@ func (h *Hierarchy) Load(cycle int64, addr uint64) LoadResult {
 	return res
 }
 
-// corruptedWays counts the violation-scrambled entries of a DL0 set.
+// corruptedWays counts the violation-scrambled entries of a DL0 set — from
+// the sram array's eagerly maintained per-set summary on the fast path, by
+// rescanning the set's entries on the slow one.
 func (h *Hierarchy) corruptedWays(set int) int {
+	if !h.noSigMemo { // the hierarchy-level fast-path switch
+		return h.DL0.Data().CorruptInSet(set * h.DL0.Config().Ways)
+	}
 	n := 0
 	for w := 0; w < h.DL0.Config().Ways; w++ {
 		if h.DL0.CorruptedAt(set, w) {
@@ -441,8 +532,8 @@ func (h *Hierarchy) CommitStore(cycle int64, addr uint64, data uint64) StoreResu
 	if cycle < h.dFreeAt {
 		cycle = h.dFreeAt
 	}
-	t := h.tlbCheck(h.DTLB, &h.dtlbMemo, cycle, addr)
-	res.Walked = t != cycle
+	t, walked := h.translate(h.DTLB, &h.dtlbMemo, cycle, addr)
+	res.Walked = walked
 	t = h.DL0.WaitPorts(t)
 	h.dFreeAt = t + 1
 
@@ -460,7 +551,7 @@ func (h *Hierarchy) CommitStore(cycle int64, addr uint64, data uint64) StoreResu
 		}
 	}
 	if hit {
-		h.lineVer[line]++
+		h.bumpLineVer(line)
 		h.DL0.WriteData(t, set, way, h.sig(line))
 		h.DL0.MarkDirty(set, way)
 		h.STab.Insert(t, word, set, data)

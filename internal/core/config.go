@@ -111,6 +111,15 @@ type Config struct {
 	// Seed drives fault-map generation and any other stochastic state.
 	Seed uint64
 
+	// DisableFastPaths turns off the result-invariant hot-path caches —
+	// the hierarchy's cached set state (way masks, MSHR generations, lazy
+	// integrity-oracle signatures, STable probe early-outs, per-set sram
+	// summaries) and the core's dual-issue scoreboard probe — while
+	// keeping the event-driven engine. Results are bit-identical either
+	// way (equivalence-fuzzed); this is the benchmark baseline and
+	// equivalence-test hook.
+	DisableFastPaths bool
+
 	// MaxCycles guards against pipeline deadlock (0 = automatic bound).
 	MaxCycles int64
 }

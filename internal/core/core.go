@@ -59,8 +59,13 @@ type Core struct {
 
 	// noSkip forces strict cycle stepping (idle-cycle skipping disabled).
 	// Test hook: the equivalence fuzz drives both engines over the same
-	// inputs and asserts bit-identical Results.
+	// inputs and asserts bit-identical Results. It also disables the
+	// dual-issue fast path, so the stepped engine is the seed reference.
 	noSkip bool
+
+	// noPair disables the dual-issue fast path only (two-slot scoreboard
+	// probe); set by Config.DisableFastPaths and the equivalence fuzz.
+	noPair bool
 
 	// stop, when non-nil, is polled periodically from the run loop; a
 	// non-nil return aborts the run with that error. The experiment runner
@@ -113,6 +118,10 @@ func (c *Core) reset() error {
 		return err
 	}
 	c.mem = mem
+	if c.cfg.DisableFastPaths {
+		c.mem.SetFastPaths(false)
+		c.noPair = true
+	}
 
 	c.regWriteAt = [isa.NumRegs]int64{}
 	c.regBypassVal = [isa.NumRegs]uint64{}
@@ -280,11 +289,10 @@ func (r *fetchRing) pop() {
 // bucket order is free. A handler may push into the wheel — including this
 // very bucket — which is safe: pushed events are always strictly in the
 // future and the due-cycle filter skips them.
+// The caller pre-checks the wheel's occupancy bit for this cycle, so idle
+// cycles never pay the call; the check lives only at the call site.
 func (c *Core) dispatchWakes(cycle int64) (dispatched bool) {
 	bypass, writePipe := c.bypassLvl, c.writePipe
-	if c.wheel.occ>>(uint(cycle)&wheelMask)&1 == 0 {
-		return false
-	}
 	b := c.wheel.bucket(cycle)
 	for i := 0; i < len(*b); {
 		w := (*b)[i]
@@ -346,18 +354,18 @@ type statBases struct {
 
 func (c *Core) snapBases(run *stats.Run, cycle int64) statBases {
 	return statBases{
-		rf:   c.rf.Stats(),
-		mem:  c.mem.Stats(),
-		il0:  c.mem.IL0.Stats(),
-		dl0:  c.mem.DL0.Stats(),
-		ul1:  c.mem.UL1.Stats(),
-		itlb: c.mem.ITLB.Stats(),
-		dtlb: c.mem.DTLB.Stats(),
-		bp:   c.bp.Stats(),
-		rfv:  c.rf.Array().Stats().ViolationReads,
-		cv:   c.mem.ViolationReads(),
-		noop: c.q.NOOPsInjected,
-		run:  *run,
+		rf:    c.rf.Stats(),
+		mem:   c.mem.Stats(),
+		il0:   c.mem.IL0.Stats(),
+		dl0:   c.mem.DL0.Stats(),
+		ul1:   c.mem.UL1.Stats(),
+		itlb:  c.mem.ITLB.Stats(),
+		dtlb:  c.mem.DTLB.Stats(),
+		bp:    c.bp.Stats(),
+		rfv:   c.rf.Array().Stats().ViolationReads,
+		cv:    c.mem.ViolationReads(),
+		noop:  c.q.NOOPsInjected,
+		run:   *run,
 		cycle: cycle,
 	}
 }
@@ -446,6 +454,12 @@ func (c *Core) run(tr *trace.Trace, measureFrom int) (*Result, error) {
 	var memoStall stats.StallKind
 	var memoBlocked *trace.Inst
 
+	// prevIssued gates the dual-issue probe: a cycle that follows a
+	// non-issuing cycle almost always has a blocked head, where the probe
+	// would be pure overhead. The gate is a heuristic, never a semantic:
+	// when it skips the probe the sequential walk derives the same outcome.
+	prevIssued := true
+
 	loopIters := 0
 	for issuedTotal < total {
 		// Measurement boundary: at the top of the first cycle after the
@@ -470,7 +484,7 @@ func (c *Core) run(tr *trace.Trace, measureFrom int) (*Result, error) {
 		}
 
 		c.sb.AdvanceTo(cycle)
-		if c.dispatchWakes(cycle) {
+		if c.wheel.occ>>(uint(cycle)&wheelMask)&1 != 0 && c.dispatchWakes(cycle) {
 			memoValid = false
 		}
 
@@ -486,6 +500,10 @@ func (c *Core) run(tr *trace.Trace, measureFrom int) (*Result, error) {
 			blockedRetry = memoUntil
 		} else {
 			memoValid = false
+			// pairVerdict carries the younger slot's scoreboard verdict out
+			// of the dual-issue probe below: -1 unknown, else 0/1. It is
+			// consumed only if slot 0 actually issues this cycle.
+			pairVerdict := int8(-1)
 			for issued < c.cfg.Width {
 				if c.q.Occupancy() == 0 {
 					if issued == 0 && issuedTotal < total {
@@ -505,10 +523,34 @@ func (c *Core) run(tr *trace.Trace, measureFrom int) (*Result, error) {
 					c.q.PopOldest()
 					run.IssuedNOOPs++
 					issued++
+					pairVerdict = -1 // the probed pair is no longer slots 0+1
 					continue
 				}
 				idx := int(e.Payload)
-				reason, ok := c.tryIssue(cycle, idx, &insts[idx], &memIssued, mispred, delayed, &run, &fetchStallUntil, &awaitRedirect)
+				sbOK := pairVerdict
+				pairVerdict = -1
+				if sbOK < 0 && issued == 0 && prevIssued && !c.noPair && !c.noSkip &&
+					c.cfg.Width >= 2 && c.q.MayIssueTwo() {
+					// Dual-issue fast path: resolve both IQ slots in one
+					// scoreboard probe. The younger slot's verdict is
+					// evaluated as if the head had issued, so when the head
+					// does issue, slot 1 reuses it instead of re-probing.
+					if e1 := c.q.Oldest(1); e1 != nil && !e1.NOOP {
+						in0, in1 := &insts[idx], &insts[int(e1.Payload)]
+						okA, okB := c.sb.IssueReadyPair(
+							in0.Src1, in0.Src2, in0.Dst, producedDst(in0),
+							in1.Src1, in1.Src2, in1.Dst)
+						sbOK = 0
+						if okA {
+							sbOK = 1
+						}
+						pairVerdict = 0
+						if okB {
+							pairVerdict = 1
+						}
+					}
+				}
+				reason, ok := c.tryIssue(cycle, idx, &insts[idx], sbOK, &memIssued, mispred, delayed, &run, &fetchStallUntil, &awaitRedirect)
 				if !ok {
 					if issued == 0 {
 						stall = reason
@@ -528,6 +570,7 @@ func (c *Core) run(tr *trace.Trace, measureFrom int) (*Result, error) {
 				}
 			}
 		}
+		prevIssued = issued > 0
 		if issued > 2 {
 			issued = 2
 		}
@@ -682,37 +725,45 @@ func (c *Core) predictAtFetch(cycle int64, idx int, in *trace.Inst, mispred []bo
 }
 
 // tryIssue attempts to issue one instruction at cycle; on failure it
-// returns the stall attribution.
-func (c *Core) tryIssue(cycle int64, idx int, in *trace.Inst, memIssued *bool,
+// returns the stall attribution. sbOK carries this slot's verdict from the
+// dual-issue scoreboard probe: 1 (ready — the register walk is skipped, the
+// probe already performed it), 0 (not ready) or -1 (no probe ran); anything
+// but 1 takes the register walk, which re-derives the verdict together with
+// its stall attribution.
+func (c *Core) tryIssue(cycle int64, idx int, in *trace.Inst, sbOK int8, memIssued *bool,
 	mispred, delayed []bool, run *stats.Run,
 	fetchStallUntil *int64, awaitRedirect *int) (stats.StallKind, bool) {
 
-	// Source readiness (the scoreboard's shift registers).
-	for _, src := range [2]isa.Reg{in.Src1, in.Src2} {
-		if src == isa.RegNone {
-			continue
-		}
-		if c.sb.ReadReady(src) {
-			continue
-		}
-		if c.sb.IRAWBlocked(src) {
-			if !delayed[idx] {
-				delayed[idx] = true
-				run.DelayedByRFIRAW++
+	if sbOK != 1 {
+		// Source readiness (the scoreboard's shift registers). A pair-probe
+		// verdict of 0 lands here too: the walk re-derives the same failure
+		// with its stall attribution and delayed census.
+		for _, src := range [2]isa.Reg{in.Src1, in.Src2} {
+			if src == isa.RegNone {
+				continue
 			}
-			return stats.StallRFIRAW, false
+			if c.sb.ReadReady(src) {
+				continue
+			}
+			if c.sb.IRAWBlocked(src) {
+				if !delayed[idx] {
+					delayed[idx] = true
+					run.DelayedByRFIRAW++
+				}
+				return stats.StallRFIRAW, false
+			}
+			if c.sb.LongPending(src) {
+				return stats.StallMemory, false
+			}
+			return stats.StallRAW, false
 		}
-		if c.sb.LongPending(src) {
-			return stats.StallMemory, false
+		// Destination (WAW through the baseline view).
+		if in.Dst != isa.RegNone && !c.sb.WriteReady(in.Dst) {
+			if c.sb.LongPending(in.Dst) {
+				return stats.StallMemory, false
+			}
+			return stats.StallRAW, false
 		}
-		return stats.StallRAW, false
-	}
-	// Destination (WAW through the baseline view).
-	if in.Dst != isa.RegNone && !c.sb.WriteReady(in.Dst) {
-		if c.sb.LongPending(in.Dst) {
-			return stats.StallMemory, false
-		}
-		return stats.StallRAW, false
 	}
 	// Structural: one memory op per cycle; D-side port holds block issue.
 	if isa.IsMem(in.Op) {
@@ -769,6 +820,20 @@ func (c *Core) tryIssue(cycle int64, idx int, in *trace.Inst, memIssued *bool,
 		c.produce(cycle, in.Dst, cycle+lat)
 	}
 	return stats.StallNone, true
+}
+
+// producedDst returns the register an issuing instruction installs a
+// producer for, or RegNone: exactly the ops for which tryIssue's commit
+// half calls produce/produceLong. Stores, branches, calls and returns
+// leave the scoreboard untouched even if a trace gave them a destination;
+// any other op (including a fence) with a destination produces, matching
+// tryIssue's fallthrough case.
+func producedDst(in *trace.Inst) isa.Reg {
+	switch in.Op {
+	case isa.OpStore, isa.OpBranch, isa.OpCall, isa.OpReturn:
+		return isa.RegNone
+	}
+	return in.Dst
 }
 
 // issueRetryAt mirrors tryIssue's check sequence — with no side effects —

@@ -122,6 +122,97 @@ func TestSkipEngineMatchesSteppedEngine(t *testing.T) {
 	}
 }
 
+// TestFastPathsMatchDisabledEngine fuzzes the PR-4 fast paths — the
+// hierarchy's cached set state (way masks, packed LRU, MSHR generations,
+// lazy oracle signatures, STable early-outs, per-set sram summaries) and
+// the dual-issue scoreboard probe — against the same event-driven engine
+// with Config.DisableFastPaths set: randomized (profile, voltage, mode, N,
+// faulty-bits) points must produce bit-identical Results, cold and warm.
+// Together with TestSkipEngineMatchesSteppedEngine (which pins the default
+// engine to strict cycle stepping) this chains fast paths -> plain
+// event-driven -> stepped seed reference.
+func TestFastPathsMatchDisabledEngine(t *testing.T) {
+	src := rng.New(0xFA57C0DE)
+	profiles := append(workload.Profiles(), workload.MemBound())
+	levels := circuit.Levels()
+	modes := []circuit.Mode{circuit.ModeBaseline, circuit.ModeIRAW,
+		circuit.ModeFaultyBits, circuit.ModeExtraBypass}
+	iters := 30
+	if testing.Short() {
+		iters = 8
+	}
+	for i := 0; i < iters; i++ {
+		p := profiles[src.Intn(len(profiles))]
+		v := levels[src.Intn(len(levels))]
+		mode := modes[src.Intn(len(modes))]
+		insts := 1500 + src.Intn(3000)
+
+		cfg := DefaultConfig(v, mode)
+		if mode == circuit.ModeIRAW {
+			switch src.Intn(4) {
+			case 0:
+				cfg.ForcedN = 1 + src.Intn(3)
+			case 1:
+				cfg.CombineFaultyBits = true
+			case 2:
+				cfg.DisableAvoidance = true
+			}
+		}
+		tr := workload.Generate(p, insts, uint64(i)+4242)
+
+		fast := MustNew(cfg)
+		slowCfg := cfg
+		slowCfg.DisableFastPaths = true
+		slow := MustNew(slowCfg)
+		for pass := 0; pass < 2; pass++ {
+			fr, err := fast.Run(tr)
+			if err != nil {
+				t.Fatalf("iter %d pass %d (%s %v %v): fast paths: %v", i, pass, p.Name, v, mode, err)
+			}
+			sr, err := slow.Run(tr)
+			if err != nil {
+				t.Fatalf("iter %d pass %d (%s %v %v): disabled: %v", i, pass, p.Name, v, mode, err)
+			}
+			if !reflect.DeepEqual(fr, sr) {
+				t.Fatalf("iter %d pass %d (%s %v %v N=%d): fast paths change results\nfast:     %+v\ndisabled: %+v",
+					i, pass, p.Name, v, mode, cfg.ForcedN, fr, sr)
+			}
+		}
+	}
+}
+
+// TestPairProbeMatchesSequentialIssue isolates the dual-issue fast path:
+// identical runs with only the two-slot scoreboard probe toggled (noPair)
+// must be bit-identical — the probe may never change what issues when.
+func TestPairProbeMatchesSequentialIssue(t *testing.T) {
+	src := rng.New(0x2571)
+	profiles := append(workload.Profiles(), workload.MemBound())
+	levels := circuit.Levels()
+	for i := 0; i < 12; i++ {
+		p := profiles[src.Intn(len(profiles))]
+		v := levels[src.Intn(len(levels))]
+		cfg := DefaultConfig(v, circuit.ModeIRAW)
+		if i%3 == 0 {
+			cfg.Mode = circuit.ModeExtraBypass // writePipe > 1: port checks
+		}
+		tr := workload.Generate(p, 2000+src.Intn(2000), uint64(i)+777)
+		pair := MustNew(cfg)
+		seq := MustNew(cfg)
+		seq.noPair = true
+		pr, err := pair.Run(tr)
+		if err != nil {
+			t.Fatalf("iter %d: pair: %v", i, err)
+		}
+		sr, err := seq.Run(tr)
+		if err != nil {
+			t.Fatalf("iter %d: sequential: %v", i, err)
+		}
+		if !reflect.DeepEqual(pr, sr) {
+			t.Fatalf("iter %d (%s %v): pair probe changes results\npair: %+v\nseq:  %+v", i, p.Name, v, pr, sr)
+		}
+	}
+}
+
 // TestSkipEquivalenceUnderHoldPressure targets the overlapping-port-hold
 // attribution corner: a TLB-hostile, store-heavy workload at high N makes
 // DTLB walk-fill holds coincide with DL0 fill windows registered for

@@ -120,6 +120,19 @@ func (q *Queue) MayIssue() bool {
 	return occ >= q.threshold()
 }
 
+// MayIssueTwo reports whether the issue stage may consider BOTH of the two
+// oldest instructions this cycle — the dual-issue fast path's gate. The
+// second pop sees occupancy one lower, so the occupancy gate must hold at
+// occupancy-1 too, exactly as the sequential issue loop would re-check it
+// after the first pop.
+func (q *Queue) MayIssueTwo() bool {
+	occ := q.Occupancy()
+	if occ < 2 {
+		return false
+	}
+	return q.n == 0 || occ-1 >= q.threshold()
+}
+
 // GateBlocked reports whether issue is blocked *only* by the IRAW gate:
 // there are instructions (so a baseline queue would issue) but fewer than
 // the threshold. Callers use it for stall attribution.

@@ -268,3 +268,28 @@ func TestNewValidation(t *testing.T) {
 		}()
 	}
 }
+
+// TestMayIssueTwoMatchesSequentialGate holds the dual-issue gate to its
+// definition: MayIssueTwo is true exactly when MayIssue holds now AND would
+// still hold after one pop (the sequential issue loop's re-check for the
+// second slot).
+func TestMayIssueTwoMatchesSequentialGate(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3} {
+		q := New(Config{Size: 16, ICI: 2, AI: 2})
+		q.SetStabilizeCycles(n)
+		for occ := 0; occ <= 16; occ++ {
+			got := q.MayIssueTwo()
+			want := false
+			if q.MayIssue() && q.Occupancy() >= 1 {
+				// Simulate the first pop on a copy of the pointers.
+				probe := *q
+				probe.PopOldest()
+				want = probe.MayIssue()
+			}
+			if got != want {
+				t.Fatalf("N=%d occ=%d: MayIssueTwo = %v, sequential gate says %v", n, occ, got, want)
+			}
+			q.Alloc(int64(occ), uint64(occ))
+		}
+	}
+}

@@ -270,6 +270,38 @@ func (sb *Scoreboard) WriteReady(r isa.Reg) bool {
 	return !e.longPending && sb.msbAfter(e.write, sb.now-e.stamp)
 }
 
+// IssueReady reports whether an instruction reading s1 and s2 and writing d
+// may issue this cycle as far as the scoreboard is concerned: both sources
+// pass the read view and the destination passes the write view, in one
+// probe. It is exactly ReadReady(s1) && ReadReady(s2) && WriteReady(d) —
+// the issue stage's fused common case, leaving the per-register walk for
+// stall attribution to the slow path.
+func (sb *Scoreboard) IssueReady(s1, s2, d isa.Reg) bool {
+	return sb.ReadReady(s1) && sb.ReadReady(s2) && sb.WriteReady(d)
+}
+
+// IssueReadyPair resolves both IQ slots in one scoreboard probe — the
+// dual-issue fast path. okA is IssueReady for the older slot (reading
+// a1/a2, writing ad) in the current state. okB is the younger slot's
+// verdict *as if the older slot had just issued*: aProd names the register
+// the older slot's issue would install a producer for (RegNone for
+// non-producing ops — stores, control, fences), and any overlap with it
+// (intra-pair RAW or WAW) blocks B, because a freshly issued producer of
+// latency >= 1 is never read- or write-ready in its issue cycle, while no
+// other register's state changes when A issues. When okA is false, okB is
+// not evaluated (the pair cannot issue). The probe itself mutates nothing;
+// a one-slot probe of B with A's issue applied first returns exactly okB —
+// the equivalence fuzz holds the two together.
+func (sb *Scoreboard) IssueReadyPair(a1, a2, ad, aProd, b1, b2, bd isa.Reg) (okA, okB bool) {
+	if !sb.IssueReady(a1, a2, ad) {
+		return false, false
+	}
+	if aProd != isa.RegNone && (b1 == aProd || b2 == aProd || bd == aProd) {
+		return true, false
+	}
+	return true, sb.IssueReady(b1, b2, bd)
+}
+
 // IRAWBlocked reports whether a consumer of r is blocked *only* by the
 // stabilization bubble: the value is available (a baseline machine would
 // issue) but the RF entry is still stabilizing. This distinguishes the

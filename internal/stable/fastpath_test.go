@@ -1,0 +1,51 @@
+package stable
+
+import (
+	"reflect"
+	"testing"
+
+	"lowvcc/internal/rng"
+)
+
+// TestProbeFastPathEquivalence fuzzes the probe early-outs (empty table,
+// set-bitmap miss) against the scan-everything reference: identical
+// insert/probe/resize sequences must produce identical probe results,
+// statistics and entry contents.
+func TestProbeFastPathEquivalence(t *testing.T) {
+	fast, slow := New(2, 4), New(2, 4)
+	slow.SetFastPath(false)
+	fast.SetStabilizeCycles(2)
+	slow.SetStabilizeCycles(2)
+
+	src := rng.New(0x57AB1E)
+	cycle := int64(1)
+	for i := 0; i < 60000; i++ {
+		switch src.Intn(10) {
+		case 0:
+			n := src.Intn(5) // 0 disables the table entirely
+			fast.SetStabilizeCycles(n)
+			slow.SetStabilizeCycles(n)
+		case 1, 2, 3:
+			addr := uint64(src.Intn(32)) * 8
+			set := src.Intn(70) // >64 exercises the set&63 aliasing
+			data := src.Uint64()
+			fast.Insert(cycle, addr, set, data)
+			slow.Insert(cycle, addr, set, data)
+		default:
+			addr := uint64(src.Intn(32)) * 8
+			set := src.Intn(70)
+			fr := fast.Probe(cycle, addr, set)
+			sr := slow.Probe(cycle, addr, set)
+			if !reflect.DeepEqual(fr, sr) {
+				t.Fatalf("op %d: Probe(%d, %#x, %d) = %+v vs %+v", i, cycle, addr, set, fr, sr)
+			}
+		}
+		cycle += int64(src.Intn(3))
+		if fast.Stats() != slow.Stats() {
+			t.Fatalf("op %d: stats diverge:\nfast: %+v\nslow: %+v", i, fast.Stats(), slow.Stats())
+		}
+		if i%128 == 0 && !reflect.DeepEqual(fast.Entries(), slow.Entries()) {
+			t.Fatalf("op %d: entries diverge:\nfast: %+v\nslow: %+v", i, fast.Entries(), slow.Entries())
+		}
+	}
+}

@@ -1,10 +1,16 @@
 #!/usr/bin/env bash
-# bench_check.sh — guard against core-throughput regressions.
+# bench_check.sh — guard against simulator-throughput regressions.
 #
-# Runs BenchmarkCoreThroughput and compares insts/s against the highest-
-# numbered committed BENCH_<n>.json. Fails when the measured rate drops
-# more than the allowed fraction below the recorded one (default 20%,
-# override with BENCH_TOLERANCE, e.g. BENCH_TOLERANCE=0.3).
+# Runs the throughput benchmarks and compares their rates against the
+# highest-numbered committed BENCH_<n>.json:
+#
+#   - BenchmarkCoreThroughput        insts/s           (warm profile)
+#   - BenchmarkMemBoundThroughput    membound-insts/s  (mem-heavy fast path)
+#
+# Fails when a measured rate drops more than the allowed fraction below the
+# recorded one (default 20%, override with BENCH_TOLERANCE, e.g.
+# BENCH_TOLERANCE=0.3). A reference file without a metric (older BENCH
+# files predate the mem-bound benchmark) skips that gate.
 #
 #   scripts/bench_check.sh
 set -euo pipefail
@@ -19,32 +25,44 @@ if [[ -z "$ref_file" ]]; then
     exit 1
 fi
 
-ref="$(sed -n 's/.*"BenchmarkCoreThroughput".*"insts\/s": \([0-9.e+]*\).*/\1/p' "$ref_file")"
-if [[ -z "$ref" ]]; then
-    echo "bench_check: $ref_file has no BenchmarkCoreThroughput insts/s" >&2
-    exit 1
-fi
-
-# Best of three: single-iteration benchmark runs are noisy and this guard
-# must only fire on real regressions.
-best=0
-for _ in 1 2 3; do
-    cur="$(go test -run '^$' -bench '^BenchmarkCoreThroughput$' -benchtime 5x . |
-        awk '/^BenchmarkCoreThroughput/ { for (i = 1; i < NF; i++) if ($(i+1) == "insts/s") print $i }')"
-    if [[ -z "$cur" ]]; then
-        echo "bench_check: benchmark produced no insts/s metric" >&2
-        exit 1
+# check <benchmark> <metric> <benchtime> <required>: best-of-three
+# (single-iteration benchmark runs are noisy and this guard must only fire
+# on real regressions), compared against the recorded reference. A missing
+# reference metric fails when required (the gate must never silently turn
+# itself off) and skips otherwise (reference files may predate the metric).
+check() {
+    local bench="$1" metric="$2" benchtime="$3" required="$4"
+    local ref best cur
+    ref="$(sed -n 's/.*"'"$bench"'".*"'"${metric//\//\\/}"'": \([0-9.e+]*\).*/\1/p' "$ref_file")"
+    if [[ -z "$ref" ]]; then
+        if [[ "$required" == required ]]; then
+            echo "bench_check: $ref_file has no $bench $metric" >&2
+            exit 1
+        fi
+        echo "bench_check: $ref_file has no $bench $metric — skipping that gate"
+        return 0
     fi
-    best="$(awk -v a="$best" -v b="$cur" 'BEGIN { print (b > a) ? b : a }')"
-done
+    best=0
+    for _ in 1 2 3; do
+        cur="$(go test -run '^$' -bench "^${bench}\$" -benchtime "$benchtime" . |
+            awk -v m="$metric" '/^Benchmark/ { for (i = 1; i < NF; i++) if ($(i+1) == m) print $i }')"
+        if [[ -z "$cur" ]]; then
+            echo "bench_check: $bench produced no $metric metric" >&2
+            exit 1
+        fi
+        best="$(awk -v a="$best" -v b="$cur" 'BEGIN { print (b > a) ? b : a }')"
+    done
+    echo "bench_check: $bench $metric: reference $ref ($ref_file), measured $best (best of 3)"
+    awk -v ref="$ref" -v cur="$best" -v tol="$tolerance" -v what="$bench" 'BEGIN {
+        floor = ref * (1 - tol)
+        if (cur < floor) {
+            printf "bench_check: FAIL — %s: %.0f is below the %.0f floor (ref %.0f, tolerance %.0f%%)\n",
+                what, cur, floor, ref, tol * 100
+            exit 1
+        }
+        printf "bench_check: OK — %s within %.0f%% of reference\n", what, tol * 100
+    }'
+}
 
-echo "bench_check: reference $ref insts/s ($ref_file), measured $best insts/s (best of 3)"
-awk -v ref="$ref" -v cur="$best" -v tol="$tolerance" 'BEGIN {
-    floor = ref * (1 - tol)
-    if (cur < floor) {
-        printf "bench_check: FAIL — %.0f insts/s is below the %.0f floor (ref %.0f, tolerance %.0f%%)\n",
-            cur, floor, ref, tol * 100
-        exit 1
-    }
-    printf "bench_check: OK — within %.0f%% of reference\n", tol * 100
-}'
+check BenchmarkCoreThroughput "insts/s" 5x required
+check BenchmarkMemBoundThroughput "membound-insts/s" 2x optional
