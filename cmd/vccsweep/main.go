@@ -29,12 +29,19 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV")
 	workers := flag.Int("workers", 0, "simulation worker goroutines (0 = GOMAXPROCS)")
 	window := flag.Int("window", 0, "shard traces into sample windows of this many instructions (0 = off)")
-	warm := flag.Int("warm", 0, "warm-up prefix per sample window (0 = window/4)")
+	warm := flag.Int("warm", 0, "warm-up prefix per sample window (0 = mode default, <0 = full prefix)")
+	warmMode := flag.String("warmmode", "functional", "sample-window warm-up: functional (timing-free replay) or timed")
 	timeout := flag.Duration("timeout", 0, "per-point wall-clock budget (0 = none)")
 	progress := flag.Bool("progress", false, "print per-point progress lines to stderr")
 	flag.Parse()
+	wm, err := sim.ParseWarmMode(*warmMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vccsweep:", err)
+		os.Exit(2)
+	}
 	sim.SetWorkers(*workers)
 	sim.SetWindow(*window, *warm)
+	sim.SetWarmMode(wm)
 	sim.SetPointTimeout(*timeout)
 	if *progress {
 		start := time.Now()

@@ -28,10 +28,16 @@ import (
 func main() {
 	workers := flag.Int("workers", 0, "simulation worker goroutines (0 = GOMAXPROCS)")
 	window := flag.Int("window", 0, "sample-window instructions for sharded long traces (0 = off)")
-	warm := flag.Int("warm", 0, "warm-up instructions per sample window")
+	warm := flag.Int("warm", 0, "warm-up instructions per sample window (0 = mode default, <0 = full prefix)")
+	warmMode := flag.String("warmmode", "functional", "sample-window warm-up: functional or timed")
 	flag.Parse()
+	wm, err := sim.ParseWarmMode(*warmMode)
+	if err != nil {
+		log.Fatal(err)
+	}
 	sim.SetWorkers(*workers)
 	sim.SetWindow(*window, *warm)
+	sim.SetWarmMode(wm)
 
 	const vcc = lowvcc.Millivolts(450)
 	workloads := []lowvcc.Profile{

@@ -44,7 +44,42 @@
 //   - The hierarchy's integrity-oracle state is lazy and bounded: line
 //     signatures memoize until the line is written (bumpLineVer refreshes
 //     in place), and version records are dropped when their line leaves
-//     the DL0, the only place signatures are ever compared (see missFlow).
+//     the DL0 — the only place signatures are ever compared — on both the
+//     fast and the fast-path-disabled reference paths (see gcOracleLine).
+//
+// # Timing-independent access-order contract (functional warm-up)
+//
+// Hierarchy.WarmFetch/WarmLoad/WarmStore replay an access stream without a
+// clock: sample-window warm-up (core.WarmReplay) uses them to pre-state the
+// memory system before timed measurement. The contract, at every level down
+// to UL1 and the TLBs:
+//
+//   - Access order is the only input. The state a replay leaves behind —
+//     tags, valid bits, LRU recency, dirty bits, TLB entries, oracle
+//     versions, settled data signatures — is a pure function of the
+//     replayed sequence, independent of the clock plan, Vcc, IRAW mode and
+//     the cycle at which the replay runs. Victim selection, mask/tagSum
+//     maintenance and LRU movement are exactly the timed path's.
+//   - Everything is settled. Warm lookups ignore validFrom (no clock to
+//     compare against), warm fills and writes land uninterrupted with no
+//     stabilization window, and installed lines are readable from the
+//     cycle after the replay's anchor — the first cycle the timed engine
+//     simulates.
+//   - Nothing timing-visible moves. No port holds, no hit/miss/stall
+//     statistics, no in-flight (MSHR) records, no STable entries, no
+//     data-side serialization: a replay is invisible to every timing
+//     mechanism the measured span exercises.
+//   - Misses flow structurally, not temporally: an L1 miss touches UL1
+//     (filling it on a UL1 miss), installs the line, writes a dirty
+//     victim's line back into UL1, and GCs the oracle record of a line
+//     leaving the DL0 — the same state transitions missFlow performs,
+//     minus buffers, waits and completion times.
+//
+// Warm stores deliberately skip the STable (no warm write is still
+// stabilizing when measurement starts) and the oracle version bump (nothing
+// can observe a torn warm write, so the fill-time signature stays equal to
+// the oracle's — the consistency the measured span's integrity checks
+// verify).
 package cache
 
 import (
@@ -738,6 +773,88 @@ func (c *Cache) Fill(cycle int64, addr uint64, sig uint64) (victimAddr uint64, d
 
 // MarkDirty flags (set, way) dirty (a store hit).
 func (c *Cache) MarkDirty(set, way int) { c.dirty[c.entry(set, way)] = true }
+
+// WarmLookup probes the cache under the functional warm-up contract: it
+// resolves addr against the installed lines in the same ascending-way order
+// as Lookup, updating LRU on a hit, but it ignores validFrom (warm replay
+// treats every installed line as settled — there is no clock to compare
+// against) and moves no statistics. Port holds are not consulted: warm
+// accesses are timing-free by definition. The probe always uses the set
+// summaries (they are maintained regardless of the fast-path switch, and
+// the warm path has no summary-free reference to stay equivalent to).
+func (c *Cache) WarmLookup(addr uint64) (way int, hit bool) {
+	set := c.SetOf(addr)
+	tag := c.tagOf(addr)
+	base := set * c.cfg.Ways
+	live := c.validMask[set] &^ c.disabledMask[set]
+	if c.tagSum != nil {
+		x := c.tagSum[set] ^ tagFold(tag)*0x0101010101010101
+		for cand := (x - 0x0101010101010101) &^ x & 0x8080808080808080; cand != 0; cand &= cand - 1 {
+			w := bits.TrailingZeros64(cand) >> 3
+			if live>>uint(w)&1 == 0 {
+				continue
+			}
+			if c.tags[base+w] == tag {
+				c.touchLRU(set, w)
+				return w, true
+			}
+		}
+		return 0, false
+	}
+	for m := live; m != 0; m &= m - 1 {
+		w := bits.TrailingZeros64(m)
+		if c.tags[base+w] == tag {
+			c.touchLRU(set, w)
+			return w, true
+		}
+	}
+	return 0, false
+}
+
+// WarmFill installs addr's line as fully settled state at `at`: victim
+// selection and the mask/tagSum/LRU maintenance are exactly Fill's, but no
+// statistics move, no ports are held, and the data write lands
+// uninterrupted — the line (tag and signature) is readable from at+1, i.e.
+// from the first cycle the timed engine simulates after a warm replay
+// anchored at `at`. The returned values mirror Fill's; ok is false when the
+// whole set is disabled (Faulty Bits), in which case the line stays
+// uncached exactly as on the timed path.
+func (c *Cache) WarmFill(at int64, addr uint64, sig uint64) (victimAddr uint64, way int, dirty, evicted, ok bool) {
+	way, ok = c.Victim(addr)
+	if !ok {
+		return 0, 0, false, false, false
+	}
+	set := c.SetOf(addr)
+	e := c.entry(set, way)
+	if c.valid[e] {
+		evicted = true
+		dirty = c.dirty[e]
+		victimAddr = (c.tags[e]*uint64(c.cfg.Sets) + uint64(set)) << c.lineShift
+	}
+	c.tags[e] = c.tagOf(addr)
+	if c.tagSum != nil {
+		sh := uint(8 * way)
+		c.tagSum[set] = c.tagSum[set]&^(0xFF<<sh) | tagFold(c.tags[e])<<sh
+	}
+	c.valid[e] = true
+	c.validMask[set] |= 1 << uint(way)
+	c.dirty[e] = false
+	c.validFrom[e] = at + 1
+	c.touchLRU(set, way)
+	c.WarmWrite(at, set, way, sig)
+	return victimAddr, way, dirty, evicted, true
+}
+
+// WarmWrite lands the line signature of (set, way) as settled data: an
+// uninterrupted write at `at`, stable from at+1, with no stabilization
+// window regardless of the active IRAW mode. Warm replay's store and fill
+// writes go through here so the measured span that follows starts from a
+// hierarchy whose physical state does not depend on the clock plan.
+func (c *Cache) WarmWrite(at int64, set, way int, sig uint64) {
+	var buf [8]byte
+	bePutUint64(buf[:], sig)
+	c.data.Write(at, c.entry(set, way), buf[:], false, 0)
+}
 
 // LineAddrAt reconstructs the line address held at (set, way); valid is
 // false for empty or disabled entries.

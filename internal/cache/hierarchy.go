@@ -104,6 +104,16 @@ type Hierarchy struct {
 	// noTLBMemo disables the memo (test hook for the equivalence test).
 	noTLBMemo bool
 
+	// warmITLB/warmDTLB/warmDL0 memoize the warm path's last access per
+	// block. A repeat of the immediately preceding access is a state no-op
+	// (the touched way is already most-recent, residency cannot have
+	// changed in between, and a failed fill fails again), so the memo skip
+	// is state-identical to re-walking the block — it only removes probe
+	// and LRU-early-out work from the warm hot loop. warmDL0 additionally
+	// carries the dirty mark so a store to the memoized line can dirty it
+	// without re-probing.
+	warmITLB, warmDTLB, warmDL0 warmMemo
+
 	// lineVer is the integrity oracle: the store version of each line.
 	lineVer map[uint64]uint32
 	// sigMemo is the lazy oracle cache: a small direct-mapped memo of line
@@ -134,6 +144,16 @@ type tlbMemo struct {
 	page  uint64
 	way   int
 	valid bool
+}
+
+// warmMemo is one block's last-warm-access memo (see the warmITLB field
+// doc). line is the block's line/page address; set/way locate the resident
+// copy; dirty mirrors the DL0 dirty flag for the store fast path.
+type warmMemo struct {
+	line     uint64
+	set, way int
+	dirty    bool
+	valid    bool
 }
 
 // NewHierarchy builds the memory system.
@@ -359,22 +379,34 @@ func (h *Hierarchy) missFlow(l1 *Cache, cycle int64, addr uint64) int64 {
 			ready = wstart
 		}
 	}
-	if evicted && l1 == h.DL0 && !h.noSigMemo {
-		// Oracle garbage collection (fast path): a signature is only ever
-		// *compared* for a DL0-resident line — UL1/IL0/TLB copies are
-		// written but never checked — and every DL0 fill rewrites the
-		// line's signature at the then-current version. So once a line
-		// leaves the DL0 its version history is unreachable: the version
-		// restarts at zero on refill, consistently on both the write and
-		// the compare side. Dropping the record keeps the oracle map at
-		// DL0 size instead of one entry per line ever stored.
-		delete(h.lineVer, victim)
-		if e := &h.sigMemo[(victim>>6)&(sigMemoSlots-1)]; e.line == victim {
-			e.valid = false
-		}
+	if evicted && l1 == h.DL0 {
+		h.gcOracleLine(victim)
 	}
 	return ready
 }
+
+// gcOracleLine drops the integrity-oracle version record of a line leaving
+// the DL0. A signature is only ever *compared* for a DL0-resident line —
+// UL1/IL0/TLB copies are written but never checked — and every DL0 fill
+// rewrites the line's signature at the then-current version. So once a line
+// leaves the DL0 its version history is unreachable: the version restarts
+// at zero on refill, consistently on both the write and the compare side.
+// Dropping the record keeps the oracle map at DL0 size instead of one entry
+// per line ever stored. The GC runs on every configuration — including the
+// fast-path-disabled reference, whose map previously grew without bound —
+// because the version-reset argument above is independent of which lookup
+// path found the victim.
+func (h *Hierarchy) gcOracleLine(victim uint64) {
+	delete(h.lineVer, victim)
+	if e := &h.sigMemo[(victim>>6)&(sigMemoSlots-1)]; e.line == victim {
+		e.valid = false
+	}
+}
+
+// OracleLines reports the number of live integrity-oracle version records
+// (bounded-growth observability for tests: the GC above keeps it at DL0
+// size on every path).
+func (h *Hierarchy) OracleLines() int { return len(h.lineVer) }
 
 // FetchResult reports an instruction fetch's timing.
 type FetchResult struct {
@@ -563,6 +595,148 @@ func (h *Hierarchy) CommitStore(cycle int64, addr uint64, data uint64) StoreResu
 	}
 	res.DoneCycle = t
 	return res
+}
+
+// Functional warm-up replay. WarmFetch, WarmLoad and WarmStore replay the
+// access stream of a sample window's warm-up prefix under the
+// timing-independent access-order contract (see the package doc): they
+// update exactly the state a later access can observe through its *content*
+// — tags, valid bits, LRU recency, dirty bits, TLB entries, the integrity
+// oracle's versions and the data arrays' settled signatures — in access
+// order, and touch nothing timing-visible: no port holds, no stall or
+// hit/miss statistics, no in-flight (MSHR) records, no STable entries, no
+// stabilization windows, and no movement of the data-side serialization
+// point. The state they leave behind is a pure function of the access
+// sequence — independent of the clock plan, Vcc level, IRAW mode and the
+// cycle the replay runs at — and every write lands settled, so the timed
+// engine that takes over at at+1 starts from a warm, fully stable
+// hierarchy.
+
+// BeginWarm starts a warm-up replay: it invalidates the warm-path memos,
+// whose repeat-skip argument only holds while every access to the memoized
+// blocks goes through the warm path — timed execution since the last
+// replay may have moved LRU state or evicted the memoized lines.
+// core.WarmReplay calls it before replaying.
+func (h *Hierarchy) BeginWarm() {
+	h.warmITLB.valid = false
+	h.warmDTLB.valid = false
+	h.warmDL0.valid = false
+}
+
+// WarmFetch replays an instruction fetch of the line containing pc. `at`
+// anchors the settled writes on the core timeline: installed state is
+// readable from at+1, the first cycle the timed engine simulates.
+func (h *Hierarchy) WarmFetch(at int64, pc uint64) {
+	h.warmTranslate(h.ITLB, &h.warmITLB, at, pc)
+	if _, hit := h.IL0.WarmLookup(pc); !hit {
+		h.warmMissFlow(h.IL0, at, pc)
+	}
+}
+
+// WarmLoad replays a data load at word address addr.
+func (h *Hierarchy) WarmLoad(at int64, addr uint64) {
+	h.warmTranslate(h.DTLB, &h.warmDTLB, at, addr)
+	line := h.DL0.LineAddr(addr)
+	if h.warmDL0.valid && h.warmDL0.line == line {
+		return // repeat of the previous data access: state no-op
+	}
+	way, hit := h.DL0.WarmLookup(addr)
+	if !hit {
+		if way, hit = h.warmMissFlow(h.DL0, at, addr); !hit {
+			h.warmDL0.valid = false
+			return
+		}
+	}
+	h.warmDL0 = warmMemo{line: line, set: h.DL0.SetOf(addr), way: way, valid: true}
+}
+
+// WarmStore replays a committed store to word address addr: write-allocate
+// into the DL0 plus the dirty mark. Two deliberate non-updates follow from
+// the settled-state contract:
+//
+//   - no STable entry — no warm write is still stabilizing when
+//     measurement starts, which is exactly the condition the STable covers;
+//   - no oracle version bump and no signature rewrite — versions order
+//     writes against reads that could observe torn state, and no warm
+//     write is observable mid-stabilization. The array keeps the fill-time
+//     signature, which stays equal to h.sig(line) precisely because
+//     nothing bumps the version, so the measured span's integrity checks
+//     hold. This keeps the warm store hit free of map and array traffic.
+func (h *Hierarchy) WarmStore(at int64, addr uint64) {
+	h.warmTranslate(h.DTLB, &h.warmDTLB, at, addr)
+	line := h.DL0.LineAddr(addr)
+	if h.warmDL0.valid && h.warmDL0.line == line {
+		if !h.warmDL0.dirty {
+			h.DL0.MarkDirty(h.warmDL0.set, h.warmDL0.way)
+			h.warmDL0.dirty = true
+		}
+		return
+	}
+	way, hit := h.DL0.WarmLookup(addr)
+	if !hit {
+		way, hit = h.warmMissFlow(h.DL0, at, addr)
+	}
+	if hit {
+		set := h.DL0.SetOf(addr)
+		h.DL0.MarkDirty(set, way)
+		h.warmDL0 = warmMemo{line: line, set: set, way: way, dirty: true, valid: true}
+	} else {
+		// Uncacheable (Faulty-Bits full-set disable): write through to UL1.
+		h.warmDL0.valid = false
+		h.warmUL1(at, addr, true)
+	}
+}
+
+// warmTranslate touches the TLB entry for addr, filling it on a miss; a
+// repeat of the TLB's previous page (the dominant case) is a state no-op
+// and returns through the memo.
+func (h *Hierarchy) warmTranslate(tlb *Cache, memo *warmMemo, at int64, addr uint64) {
+	page := tlb.LineAddr(addr)
+	if memo.valid && memo.line == page {
+		return
+	}
+	if _, hit := tlb.WarmLookup(addr); !hit {
+		tlb.WarmFill(at, addr, h.sig(page))
+	}
+	*memo = warmMemo{line: page, valid: true}
+}
+
+// warmUL1 touches (or dirties) addr's line in UL1, filling on a miss; a
+// functional mirror of ul1Access with memory beyond UL1 stateless as ever.
+func (h *Hierarchy) warmUL1(at int64, addr uint64, write bool) {
+	line := h.UL1.LineAddr(addr)
+	set := h.UL1.SetOf(addr)
+	way, hit := h.UL1.WarmLookup(addr)
+	if !hit {
+		var ok bool
+		_, way, _, _, ok = h.UL1.WarmFill(at, addr, h.sig(line))
+		if !ok {
+			return // full-set disabled: the line bypasses, as on the timed path
+		}
+	}
+	if write {
+		h.UL1.MarkDirty(set, way)
+		h.UL1.WarmWrite(at, set, way, h.sig(line))
+	}
+}
+
+// warmMissFlow is missFlow's functional mirror for an L1 (IL0 or DL0) miss:
+// UL1 access, line install, dirty-victim writeback into UL1, and the oracle
+// GC for lines leaving the DL0. It returns the installed way; ok is false
+// when the set is fully disabled and the line stays uncached.
+func (h *Hierarchy) warmMissFlow(l1 *Cache, at int64, addr uint64) (way int, ok bool) {
+	h.warmUL1(at, addr, false)
+	victim, way, dirty, evicted, ok := l1.WarmFill(at, addr, h.sig(l1.LineAddr(addr)))
+	if !ok {
+		return 0, false
+	}
+	if evicted && dirty {
+		h.warmUL1(at, victim, true)
+	}
+	if evicted && l1 == h.DL0 {
+		h.gcOracleLine(victim)
+	}
+	return way, true
 }
 
 // ViolationReads sums the violating reads across every block's data array

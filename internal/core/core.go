@@ -383,22 +383,37 @@ func (c *Core) snapBases(run *stats.Run, cycle int64) statBases {
 // together).
 func (c *Core) Run(tr *trace.Trace) (*Result, error) { return c.run(tr, 0) }
 
-// RunWindow simulates tr to completion but measures only from the
-// measureFrom-th instruction on: the leading instructions execute normally
-// (they warm caches, train the predictor and fill the pipeline) and their
-// statistics are excluded from the Result. RunWindow(tr, 0) is exactly
-// Run(tr).
+// RunWindow simulates tr's measured span — the instructions from
+// measureFrom on — after executing the leading instructions as warm-up
+// whose statistics are excluded from the Result. RunWindow(tr, 0, mode) is
+// exactly Run(tr) for every mode: with nothing to warm, both modes hand the
+// whole trace to the timed engine bit-identically.
 //
-// The measurement boundary is deterministic: statistics snapshot at the
-// top of the first cycle after the measureFrom-th instruction issued, so
-// two runs over the same trace always cut at the same point regardless of
-// engine mode (stepped or event-driven). This is the execution half of the
-// sample-window methodology — trace.Shard produces the windows, the sim
-// runner fans them out, and core.MergeWindowResults stitches the pieces.
-func (c *Core) RunWindow(tr *trace.Trace, measureFrom int) (*Result, error) {
+// The warm mode selects the execution half of the sample-window
+// methodology (trace.Shard produces the windows, the sim runner fans them
+// out, core.MergeWindowResults stitches the pieces):
+//
+//   - WarmFunctional (the default) replays the prefix through WarmReplay —
+//     timing-free, at a fraction of simulation cost — and starts the timed
+//     engine cold-pipelined but warm-stated at the boundary. The boundary
+//     is trivially deterministic: measurement covers every simulated cycle.
+//   - WarmTimed executes the whole trace on the timed engine and snapshots
+//     statistics at the top of the first cycle after the measureFrom-th
+//     instruction issued — deterministic regardless of engine mode (stepped
+//     or event-driven), as before.
+func (c *Core) RunWindow(tr *trace.Trace, measureFrom int, warm WarmMode) (*Result, error) {
 	if measureFrom < 0 || measureFrom >= len(tr.Insts) {
 		return nil, fmt.Errorf("core: window start %d out of range for trace %q (%d insts)",
 			measureFrom, tr.Name, len(tr.Insts))
+	}
+	if warm == WarmFunctional {
+		if measureFrom > 0 {
+			if err := c.WarmReplay(tr, measureFrom); err != nil {
+				return nil, err
+			}
+		}
+		span := &trace.Trace{Name: tr.Name, Insts: tr.Insts[measureFrom:]}
+		return c.run(span, 0)
 	}
 	return c.run(tr, measureFrom)
 }

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+
+	"lowvcc/internal/isa"
+	"lowvcc/internal/trace"
+)
+
+// WarmMode selects how RunWindow executes a sample window's warm-up prefix.
+type WarmMode uint8
+
+const (
+	// WarmFunctional (the zero value, and the default everywhere) replays
+	// the prefix timing-free through WarmReplay: caches, TLBs, LRU state,
+	// the integrity oracle and the predictor are trained in access order at
+	// near-zero cost, with no ports, stalls or cycle accounting, and the
+	// timed engine takes over at the window boundary. This is the
+	// SMARTS-style functional-warming half of the sample-window
+	// methodology: it lets warm prefixes grow to whole windows of history,
+	// which shrinks the sharding bias from tens of percent to low single
+	// digits.
+	WarmFunctional WarmMode = iota
+	// WarmTimed executes the prefix on the timed engine and discards its
+	// statistics — the pre-functional behaviour, kept selectable for
+	// equivalence tests and benchmark baselines.
+	WarmTimed
+)
+
+// String implements fmt.Stringer.
+func (m WarmMode) String() string {
+	switch m {
+	case WarmFunctional:
+		return "functional"
+	case WarmTimed:
+		return "timed"
+	default:
+		return fmt.Sprintf("WarmMode(%d)", int(m))
+	}
+}
+
+// warmStopStride bounds how many instructions WarmReplay processes between
+// stop-check polls; replay is so much faster than timed simulation that a
+// coarser stride than the run loop's keeps preemption just as prompt.
+const warmStopStride = 4096
+
+// WarmReplay functionally replays the first n instructions of tr: the
+// memory hierarchy sees the fetch/load/store stream and the predictor the
+// resolved control flow, both through their timing-free warm paths, so the
+// core's architectural warm state (cache and TLB contents, LRU recency,
+// dirty bits, oracle versions, BP counters, global history, RSB) ends up
+// exactly as a function of the instruction sequence — independent of the
+// clock plan, the Vcc level and the IRAW mode. Nothing timing-visible
+// changes: no cycles elapse (c.now is untouched), no port holds, stalls,
+// in-flight fills, STable entries or stabilization windows are created, and
+// no Result statistics move (a following measured run diffs from its own
+// snapshot anyway). The pipeline-side state (scoreboard, IQ, register
+// timing) is left cold: it re-fills within a few cycles of the measured
+// span, the same transient the head of any trace pays.
+//
+// The replay mirrors the timed front end's access stream: one instruction
+// fetch per 64-byte line transition, one data access per load or store, one
+// predictor update per control instruction. The installed stop check is
+// polled so context cancellation and point timeouts preempt warm replay
+// just as they preempt timed simulation.
+func (c *Core) WarmReplay(tr *trace.Trace, n int) error {
+	if n < 0 || n > len(tr.Insts) {
+		return fmt.Errorf("core: warm prefix %d out of range for trace %q (%d insts)",
+			n, tr.Name, len(tr.Insts))
+	}
+	at := c.now
+	c.mem.BeginWarm()
+	lastLine := ^uint64(0)
+	for i := 0; i < n; i++ {
+		if c.stop != nil && i&(warmStopStride-1) == 0 {
+			if err := c.stop(); err != nil {
+				return fmt.Errorf("core: %s: warm replay aborted: %w", tr.Name, err)
+			}
+		}
+		in := &tr.Insts[i]
+		if line := in.PC &^ 63; line != lastLine {
+			c.mem.WarmFetch(at, in.PC)
+			lastLine = line
+		}
+		switch in.Op {
+		case isa.OpLoad:
+			c.mem.WarmLoad(at, in.Addr)
+		case isa.OpStore:
+			c.mem.WarmStore(at, in.Addr)
+		case isa.OpBranch:
+			c.bp.WarmBranch(in.PC, in.Taken)
+		case isa.OpCall:
+			c.bp.WarmCall(in.PC + 4)
+		case isa.OpReturn:
+			c.bp.WarmReturn()
+		}
+	}
+	return nil
+}

@@ -10,7 +10,8 @@ import (
 	"lowvcc/internal/workload"
 )
 
-// TestRunWindowZeroEqualsRun: measuring from instruction 0 is exactly Run.
+// TestRunWindowZeroEqualsRun: measuring from instruction 0 is exactly Run,
+// in both warm modes (with nothing to warm they must coincide bitwise).
 func TestRunWindowZeroEqualsRun(t *testing.T) {
 	tr := workload.Generate(workload.SpecInt(), 8000, 3)
 	for _, mode := range []circuit.Mode{circuit.ModeBaseline, circuit.ModeIRAW} {
@@ -19,12 +20,14 @@ func TestRunWindowZeroEqualsRun(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := MustNew(cfg).RunWindow(tr, 0)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if !reflect.DeepEqual(a, b) {
-			t.Fatalf("%v: RunWindow(tr, 0) differs from Run(tr)", mode)
+		for _, wm := range []WarmMode{WarmFunctional, WarmTimed} {
+			b, err := MustNew(cfg).RunWindow(tr, 0, wm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("%v: RunWindow(tr, 0, %v) differs from Run(tr)", mode, wm)
+			}
 		}
 	}
 }
@@ -42,7 +45,7 @@ func TestRunWindowPartition(t *testing.T) {
 		t.Fatal(err)
 	}
 	const from = 3000
-	win, err := MustNew(cfg).RunWindow(tr, from)
+	win, err := MustNew(cfg).RunWindow(tr, from, WarmTimed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +63,7 @@ func TestRunWindowPartition(t *testing.T) {
 		t.Error("window counters exceed the whole run's")
 	}
 	// Determinism of the boundary.
-	again, err := MustNew(cfg).RunWindow(tr, from)
+	again, err := MustNew(cfg).RunWindow(tr, from, WarmTimed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,8 +77,10 @@ func TestRunWindowValidation(t *testing.T) {
 	tr := workload.Generate(workload.SpecInt(), 100, 1)
 	c := MustNew(DefaultConfig(500, circuit.ModeBaseline))
 	for _, from := range []int{-1, 100, 101} {
-		if _, err := c.RunWindow(tr, from); err == nil {
-			t.Errorf("RunWindow(tr, %d) accepted an out-of-range boundary", from)
+		for _, wm := range []WarmMode{WarmFunctional, WarmTimed} {
+			if _, err := c.RunWindow(tr, from, wm); err == nil {
+				t.Errorf("RunWindow(tr, %d, %v) accepted an out-of-range boundary", from, wm)
+			}
 		}
 	}
 }
@@ -94,7 +99,7 @@ func TestMergeWindowResultsStitch(t *testing.T) {
 	var cycles uint64
 	for i, w := range windows {
 		c := MustNew(cfg)
-		res, err := c.RunWindow(w.Trace, w.Warm)
+		res, err := c.RunWindow(w.Trace, w.Warm, WarmTimed)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -204,6 +204,50 @@ func (p *Predictor) PredictReturn(cycle int64) (target uint64, stallCycles int, 
 // NoteReturnMispredict feeds the return-misprediction statistic.
 func (p *Predictor) NoteReturnMispredict() { p.stats.ReturnMispredicts++ }
 
+// Functional warm-up replay. WarmBranch, WarmCall and WarmReturn train the
+// predictor over a sample window's warm-up prefix under the same
+// timing-independent contract as the cache hierarchy's warm path: the
+// counters, global history and RSB contents evolve exactly as a timed run
+// over the same instruction sequence would evolve them (direction training
+// depends only on resolved outcomes, never on timing), every write is
+// recorded as settled (no stabilization stamp, so no violation window can
+// reach into the measured span), and no statistics move.
+
+// WarmBranch trains the branch at pc with its resolved direction.
+func (p *Predictor) WarmBranch(pc uint64, taken bool) {
+	i := p.index(pc)
+	old := p.counters[i]
+	c := old
+	if taken {
+		if c < 3 {
+			c++
+		}
+	} else {
+		if c > 0 {
+			c--
+		}
+	}
+	if c != old {
+		p.counters[i] = c
+		p.updatedAt[i] = -1 // settled: the warm write cannot be mid-stabilization
+		p.msbFlipped[i] = false
+	}
+	p.history = p.history<<1 | b2u(taken)
+}
+
+// WarmCall pushes a call's return address as a settled RSB entry.
+func (p *Predictor) WarmCall(retPC uint64) {
+	p.rsb[p.top] = retPC
+	p.rsbPushed[p.top] = -1
+	p.top = (p.top + 1) % p.cfg.RSBEntries
+}
+
+// WarmReturn pops the RSB (keeping the stack aligned with the replayed
+// call/return stream) without prediction, conflict or stall accounting.
+func (p *Predictor) WarmReturn() {
+	p.top = (p.top + p.cfg.RSBEntries - 1) % p.cfg.RSBEntries
+}
+
 // Flush clears speculative history state after a pipeline flush. Counters
 // and the RSB survive (as in hardware), only the in-flight history is
 // squashed; the RSB top is left as-is since the modelled core resolves

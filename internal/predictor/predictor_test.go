@@ -217,3 +217,82 @@ func TestNewValidation(t *testing.T) {
 		}()
 	}
 }
+
+// TestWarmMatchesTimedTraining: functionally warmed predictor state is
+// behaviorally identical to timed training over the same resolved stream —
+// same branch predictions at every trained site, same RSB pops.
+func TestWarmMatchesTimedTraining(t *testing.T) {
+	timed := New(DefaultConfig())
+	warm := New(DefaultConfig())
+	timed.SetStabilizeCycles(0)
+	warm.SetStabilizeCycles(0)
+
+	// A deterministic pseudo-random mix of branches, calls and returns.
+	state := uint64(0x1234_5678)
+	next := func(n uint64) uint64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return state >> 33 % n
+	}
+	cycle := int64(0)
+	depth := 0
+	pcs := make(map[uint64]bool)
+	for i := 0; i < 5000; i++ {
+		cycle += 3
+		switch op := next(10); {
+		case op < 7:
+			pc := 0x400000 + next(256)*4
+			taken := next(2) == 0
+			pcs[pc] = true
+			pred := timed.PredictBranch(cycle, pc)
+			timed.UpdateBranch(cycle, pc, taken, pred != taken)
+			warm.WarmBranch(pc, taken)
+		case op < 9 || depth == 0:
+			ret := 0x500000 + next(1024)*4
+			timed.PushCall(cycle, ret)
+			warm.WarmCall(ret)
+			depth++
+		default:
+			timed.PredictReturn(cycle)
+			warm.WarmReturn()
+			depth--
+		}
+	}
+	// Same direction at every trained site.
+	probe := cycle + 1000
+	for pc := range pcs {
+		if a, b := timed.PredictBranch(probe, pc), warm.PredictBranch(probe, pc); a != b {
+			t.Fatalf("pc %x: timed predicts %v, warm predicts %v", pc, a, b)
+		}
+	}
+	// Same RSB contents, popped side by side.
+	for i := 0; i < DefaultConfig().RSBEntries; i++ {
+		ta, _, _ := timed.PredictReturn(probe)
+		tb, _, _ := warm.PredictReturn(probe)
+		if ta != tb {
+			t.Fatalf("RSB slot %d: timed %x, warm %x", i, ta, tb)
+		}
+	}
+}
+
+// TestWarmWritesAreSettled: under an active stabilization window, warm
+// training leaves no window behind — an immediate read sees neither a
+// potential corruption nor an RSB conflict.
+func TestWarmWritesAreSettled(t *testing.T) {
+	p := New(DefaultConfig())
+	p.SetStabilizeCycles(4)
+	const pc = 0x400100
+	// Drive the counter across the MSB boundary (the corruptible case).
+	p.WarmBranch(pc, true)
+	p.WarmBranch(pc, true)
+	if p.PredictBranch(1, pc) != true {
+		t.Error("warm-trained branch mispredicted")
+	}
+	if got := p.Stats().PotentialCorruptions; got != 0 {
+		t.Errorf("warm branch write left a stabilization window: %d potential corruptions", got)
+	}
+	p.WarmCall(0x500004)
+	tgt, stall, conflict := p.PredictReturn(1)
+	if conflict || stall != 0 || tgt != 0x500004 {
+		t.Errorf("warm call left a stabilizing RSB entry: tgt=%x stall=%d conflict=%v", tgt, stall, conflict)
+	}
+}

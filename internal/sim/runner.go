@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"lowvcc/internal/core"
 )
 
 // Runner executes independent simulation jobs across a bounded pool of
@@ -44,9 +46,21 @@ type Runner struct {
 	// warm-up + measure methodology. 0 disables sharding.
 	WindowInsts int
 
-	// WarmInsts is the per-window warm-up prefix length; <= 0 selects
-	// WindowInsts/4.
+	// WarmInsts is the per-window warm-up prefix length: positive values
+	// are explicit, 0 selects the warm-mode default (two windows of
+	// history — 2*WindowInsts — for functional warm-up, whose replay runs
+	// roughly an order of magnitude faster than simulation; WindowInsts/4
+	// for timed warm-up, where every warm instruction costs a simulated
+	// one), and negative values select the window's entire prefix
+	// (affordable only under functional warm-up).
 	WarmInsts int
+
+	// WarmMode selects how each window's warm-up prefix executes:
+	// core.WarmFunctional (the zero value and default) replays it
+	// timing-free; core.WarmTimed simulates it on the timed engine (the
+	// pre-functional behaviour, kept for equivalence testing and
+	// benchmarking).
+	WarmMode core.WarmMode
 }
 
 // WithPointTimeout sets the per-cell wall-clock budget and returns r for
@@ -64,18 +78,30 @@ func (r *Runner) WithProgress(f func(PointUpdate)) *Runner {
 }
 
 // WithWindow enables sharded long-trace execution (windowInsts measured
-// instructions per sample window, warmInsts of warm-up prefix; warmInsts
-// <= 0 selects windowInsts/4) and returns r for chaining.
+// instructions per sample window, warmInsts of warm-up prefix; 0 selects
+// the warm-mode default, negative the full prefix — see WarmInsts) and
+// returns r for chaining.
 func (r *Runner) WithWindow(windowInsts, warmInsts int) *Runner {
 	r.WindowInsts = windowInsts
 	r.WarmInsts = warmInsts
 	return r
 }
 
-// warmInsts resolves the effective warm-up prefix length.
+// WithWarmMode selects the warm-up execution mode for sample windows and
+// returns r for chaining.
+func (r *Runner) WithWarmMode(m core.WarmMode) *Runner {
+	r.WarmMode = m
+	return r
+}
+
+// warmInsts resolves the effective warm-up prefix length (negative means
+// the full prefix; trace.Shard interprets it).
 func (r *Runner) warmInsts() int {
-	if r.WarmInsts > 0 {
+	if r.WarmInsts != 0 {
 		return r.WarmInsts
+	}
+	if r.WarmMode == core.WarmFunctional {
+		return 2 * r.WindowInsts
 	}
 	return r.WindowInsts / 4
 }

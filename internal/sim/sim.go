@@ -67,18 +67,31 @@
 //     the pre-streaming batch engine.
 //
 // Sharded numbers are a sample-window *approximation* of one production
-// pass over the long trace: each window sees only its WarmInsts prefix of
-// history, so cross-window cache reuse is re-paid as cold-start misses and
-// the stitched IPC is deterministically pessimistic, converging to the
-// whole-pass numbers as windows grow (golden-tested with a 15% tolerance
-// at window = len/2). The approximation is deterministic and
-// worker-invariant for a fixed configuration but not bitwise equal to the
-// unsharded run — which is why windowing is opt-in and the evaluation
-// defaults keep it off.
+// pass over the long trace: each window sees only its warm-up prefix of
+// history, and the approximation is deterministic and worker-invariant for
+// a fixed configuration but not bitwise equal to the unsharded run. How
+// close it lands depends on the warm mode (Runner.WarmMode):
+//
+//   - core.WarmFunctional (the default) replays each window's prefix
+//     timing-free (core.WarmReplay), so the default prefix is two windows
+//     of history at a fraction of simulation cost and the stitched numbers
+//     land within low single digits of the whole-pass run (golden-tested
+//     at 5% on workload.LongTrace, and gated in scripts/bench_check.sh);
+//   - core.WarmTimed simulates the prefix on the timed engine — every warm
+//     instruction costs a measured one, so affordable prefixes are short
+//     and the stitched IPC is deterministically pessimistic by up to tens
+//     of percent (cross-window cache reuse re-paid as cold-start misses),
+//     converging as windows grow (golden-tested with a 15% tolerance at
+//     window = len/2).
+//
+// Windowing remains opt-in for the evaluation defaults; warm=0 windows and
+// window >= len(trace) stay bit-identical to the unsharded engine in both
+// modes.
 package sim
 
 import (
 	"context"
+	"fmt"
 	"time"
 
 	"lowvcc/internal/circuit"
@@ -129,9 +142,27 @@ func SetProgress(f func(PointUpdate)) { defaultRunner.Progress = f }
 func SetPointTimeout(d time.Duration) { defaultRunner.PointTimeout = d }
 
 // SetWindow enables sharded long-trace execution on the default runner
-// (the cmd tools' -window/-warm flags); windowInsts 0 disables it.
+// (the cmd tools' -window/-warm flags); windowInsts 0 disables it, and
+// warmInsts 0 selects the warm-mode default (two windows for functional
+// warm-up, a quarter window for timed), negative the full prefix.
 // Startup-time only, like SetWorkers.
 func SetWindow(windowInsts, warmInsts int) { defaultRunner.WithWindow(windowInsts, warmInsts) }
+
+// SetWarmMode selects the default runner's sample-window warm-up mode (the
+// cmd tools' -warmmode flag). Startup-time only, like SetWorkers.
+func SetWarmMode(m core.WarmMode) { defaultRunner.WithWarmMode(m) }
+
+// ParseWarmMode maps the -warmmode flag spellings to a core.WarmMode.
+func ParseWarmMode(s string) (core.WarmMode, error) {
+	switch s {
+	case "functional", "":
+		return core.WarmFunctional, nil
+	case "timed":
+		return core.WarmTimed, nil
+	default:
+		return 0, fmt.Errorf("sim: unknown warm mode %q (want functional or timed)", s)
+	}
+}
 
 // RunPoint simulates every trace at one operating point (warm measurement)
 // and returns the per-trace results plus their aggregate. Traces fan out

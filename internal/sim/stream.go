@@ -189,8 +189,9 @@ func (r *Runner) stream(ctx context.Context, specs []PointSpec, ch chan<- PointU
 			}
 		} else {
 			// Sample window: one pass where the warm-up prefix executes
-			// unmeasured and statistics cover only the window's span.
-			if res, err = wc.c.RunWindow(win.Trace, win.Warm); err != nil {
+			// unmeasured — functionally replayed or timed, per the runner's
+			// warm mode — and statistics cover only the window's span.
+			if res, err = wc.c.RunWindow(win.Trace, win.Warm, r.WarmMode); err != nil {
 				return fmt.Errorf("%s: window %s: %w", spec.Label, win.Trace.Name, err)
 			}
 		}

@@ -28,10 +28,14 @@ type Window struct {
 
 // Shard cuts t into deterministic sample windows of windowInsts measured
 // instructions each (the last window takes the remainder), with up to
-// warmInsts instructions of warm-up prefix per window. The plan is a pure
-// function of (len(t.Insts), windowInsts, warmInsts): the same inputs
-// always produce the same boundaries, which is what makes sharded
-// execution independent of worker count and scheduling.
+// warmInsts instructions of warm-up prefix per window; a negative
+// warmInsts selects each window's entire prefix (everything before its
+// measured span — affordable when the warm-up replay is functional). The
+// plan is a pure function of (len(t.Insts), windowInsts, warmInsts): the
+// same inputs always produce the same boundaries, which is what makes
+// sharded execution independent of worker count and scheduling. A warm
+// request longer than a window's prefix is capped at the prefix (window 0
+// always has Warm 0: there is nothing before instruction 0).
 //
 // windowInsts <= 0 or >= len(t.Insts) disables sharding: the result is a
 // single window covering the whole trace with no prefix, and the window's
@@ -43,7 +47,7 @@ func Shard(t *Trace, windowInsts, warmInsts int) []Window {
 		return []Window{{Trace: t, Warm: 0, Start: 0, End: n, Index: 0, Count: 1}}
 	}
 	if warmInsts < 0 {
-		warmInsts = 0
+		warmInsts = n // full prefix: the per-window cap below trims it to start
 	}
 	count := (n + windowInsts - 1) / windowInsts
 	windows := make([]Window, 0, count)

@@ -18,8 +18,14 @@ out="BENCH_${index}.json"
 
 raw="$(go test -run '^$' -bench "$pattern" -benchtime "$benchtime" . | tee /dev/stderr)"
 
-awk -v host="$(uname -sm)" '
-BEGIN { print "[" }
+# Provenance: the commit the recording tree was based on (HEAD; the
+# working tree may carry the not-yet-committed changes being measured).
+# bench_check.sh resolves its rebuild baseline from the file's own git
+# history, not from this entry.
+commit="$(git rev-parse HEAD 2>/dev/null || echo unknown)"
+
+awk -v host="$(uname -sm)" -v commit="$commit" '
+BEGIN { print "[\n  {\"name\": \"meta\", \"commit\": \"" commit "\"}"; sep = "," }
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
