@@ -242,6 +242,13 @@ func BenchmarkCompilerResched(b *testing.B) {
 // deviation of the functional-warm stitch from the cold single production
 // pass the windows approximate — low single digits, vs tens of percent for
 // the timed warm-up, timedwarm-bias-%; gated in bench_check.sh).
+//
+// A fourth arm repeats the functional-warm run with the result journal
+// enabled against a cold directory each iteration — all cost, no replay
+// benefit — and reports journal-overhead-% (recorded since BENCH_6.json;
+// the resilience layer's cache must stay under a few percent on top of
+// sharded execution). Journaling stays off in every other arm and every
+// other benchmark: benches measure simulation, not the cache.
 func BenchmarkShardedLongTrace(b *testing.B) {
 	tr := workload.LongTrace(700000, 11)
 	cfg := core.DefaultConfig(500, circuit.ModeIRAW)
@@ -260,7 +267,7 @@ func BenchmarkShardedLongTrace(b *testing.B) {
 		return d
 	}
 	b.ResetTimer()
-	var unsharded, timedWarm, sharded time.Duration
+	var unsharded, timedWarm, sharded, journaled time.Duration
 	var timedRes, funcRes *core.Result
 	for i := 0; i < b.N; i++ {
 		r := &sim.Runner{Workers: 8}
@@ -287,6 +294,20 @@ func BenchmarkShardedLongTrace(b *testing.B) {
 		}
 		sharded += time.Since(t2)
 		funcRes = fper[0]
+		// Cold journal every iteration: measures the full write-side cost
+		// (trace hashing, encode, fsync-free atomic rename) with zero hits.
+		rj := (&sim.Runner{Workers: 8}).
+			WithWindow(len(tr.Insts)/8, 0).
+			WithJournal(b.TempDir())
+		t3 := time.Now()
+		jper, _, err := rj.RunPoint(ctx, cfg, []*trace.Trace{tr})
+		if err != nil {
+			b.Fatal(err)
+		}
+		journaled += time.Since(t3)
+		if jper[0].Run != funcRes.Run {
+			b.Fatal("journaled run diverged from the plain sharded run")
+		}
 	}
 	b.ReportMetric(unsharded.Seconds()/float64(b.N), "unsharded-s")
 	b.ReportMetric(timedWarm.Seconds()/float64(b.N), "timedwarm-sharded-s")
@@ -298,6 +319,8 @@ func BenchmarkShardedLongTrace(b *testing.B) {
 	b.ReportMetric(float64(len(tr.Insts))*float64(b.N)/sharded.Seconds(), "sharded-insts/s")
 	b.ReportMetric(bias(funcRes), "shard-bias-%")
 	b.ReportMetric(bias(timedRes), "timedwarm-bias-%")
+	b.ReportMetric(journaled.Seconds()/float64(b.N), "journaled-sharded-s")
+	b.ReportMetric(100*(journaled.Seconds()-sharded.Seconds())/sharded.Seconds(), "journal-overhead-%")
 }
 
 // BenchmarkMemBoundThroughput measures simulator speed on the cache-hostile

@@ -25,6 +25,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -48,6 +49,10 @@ func main() {
 	warmMode := flag.String("warmmode", "functional", "sample-window warm-up: functional (timing-free replay) or timed")
 	timeout := flag.Duration("timeout", 0, "per-point wall-clock budget (0 = none)")
 	progress := flag.Bool("progress", false, "print per-point progress lines to stderr as grid cells complete")
+	journal := flag.String("journal", "", "journal completed cells to this directory and replay them on restart")
+	retries := flag.Int("retries", 0, "retry transiently-failed cells (timeouts) this many times")
+	retryBackoff := flag.Duration("retry-backoff", time.Second, "backoff before the first retry (doubles per attempt)")
+	allowPartial := flag.Bool("allow-partial", false, "keep going past failed cells; streaming tables mark them FAIL(reason)")
 	flag.Parse()
 	wm, err := sim.ParseWarmMode(*warmMode)
 	if err != nil {
@@ -58,14 +63,26 @@ func main() {
 	sim.SetWindow(*window, *warm)
 	sim.SetWarmMode(wm)
 	sim.SetPointTimeout(*timeout)
+	sim.SetJournal(*journal)
+	sim.SetRetries(*retries, *retryBackoff)
+	sim.SetAllowPartial(*allowPartial)
 	if *progress {
 		start := time.Now()
 		sim.SetProgress(func(u sim.PointUpdate) {
-			if u.Err != nil {
-				return
+			switch {
+			case u.Err != nil && u.Point >= 0:
+				fmt.Fprintf(os.Stderr, "figures: [%6.2fs] %3d/%d %s %s FAILED: %v\n",
+					time.Since(start).Seconds(), u.Done, u.Total, u.Label, u.TraceName, u.Err)
+			case u.Err != nil:
+				// Terminal update; the error surfaces through the generator.
+			default:
+				tag := ""
+				if u.Replayed {
+					tag = " [journal]"
+				}
+				fmt.Fprintf(os.Stderr, "figures: [%6.2fs] %3d/%d %s %s (%d window(s))%s\n",
+					time.Since(start).Seconds(), u.Done, u.Total, u.Label, u.TraceName, u.Windows, tag)
 			}
-			fmt.Fprintf(os.Stderr, "figures: [%6.2fs] %3d/%d %s %s (%d window(s))\n",
-				time.Since(start).Seconds(), u.Done, u.Total, u.Label, u.TraceName, u.Windows)
 		})
 	}
 
@@ -160,12 +177,23 @@ func (g *gen) fig11b() error {
 		return err
 	}
 	var rowErr error
-	_, err = sim.Figure11bStream(context.Background(), g.suite(), func(r sim.Fig11bRow) {
-		if e := t.AddRow(r.Vcc, r.FreqGain, r.PerfGain, r.IPCBase, r.IPCIRAW, report.Pct(r.StallCost)); e != nil && rowErr == nil {
+	_, err = sim.Figure11bStream(context.Background(), g.suite(), func(r sim.Fig11bRow, fail *sim.CellError) {
+		var e error
+		if fail != nil {
+			e = t.AddRow(r.Vcc, "FAIL("+fail.Reason(32)+")", "-", "-", "-", "-")
+		} else {
+			e = t.AddRow(r.Vcc, r.FreqGain, r.PerfGain, r.IPCBase, r.IPCIRAW, report.Pct(r.StallCost))
+		}
+		if e != nil && rowErr == nil {
 			rowErr = e
 		}
 	})
-	if err != nil {
+	var pe *sim.PartialError
+	if errors.As(err, &pe) {
+		// The failed voltages already rendered as FAIL rows (-allow-partial);
+		// note the damage and keep the run alive.
+		fmt.Fprintf(os.Stderr, "figures: %d cell(s) failed; rows marked FAIL\n", len(pe.Cells))
+	} else if err != nil {
 		return err
 	}
 	if rowErr != nil {

@@ -33,6 +33,10 @@ func main() {
 	warmMode := flag.String("warmmode", "functional", "sample-window warm-up: functional (timing-free replay) or timed")
 	timeout := flag.Duration("timeout", 0, "per-point wall-clock budget (0 = none)")
 	progress := flag.Bool("progress", false, "print per-point progress lines to stderr")
+	journal := flag.String("journal", "", "journal completed cells to this directory and replay them on restart")
+	retries := flag.Int("retries", 0, "retry transiently-failed cells (timeouts) this many times")
+	retryBackoff := flag.Duration("retry-backoff", time.Second, "backoff before the first retry (doubles per attempt)")
+	allowPartial := flag.Bool("allow-partial", false, "keep sweeping past failed cells and render them as FAIL(reason)")
 	flag.Parse()
 	wm, err := sim.ParseWarmMode(*warmMode)
 	if err != nil {
@@ -43,14 +47,26 @@ func main() {
 	sim.SetWindow(*window, *warm)
 	sim.SetWarmMode(wm)
 	sim.SetPointTimeout(*timeout)
+	sim.SetJournal(*journal)
+	sim.SetRetries(*retries, *retryBackoff)
+	sim.SetAllowPartial(*allowPartial)
 	if *progress {
 		start := time.Now()
 		sim.SetProgress(func(u sim.PointUpdate) {
-			if u.Err != nil {
-				return
+			switch {
+			case u.Err != nil && u.Point >= 0:
+				fmt.Fprintf(os.Stderr, "vccsweep: [%6.2fs] %3d/%d %s %s FAILED: %v\n",
+					time.Since(start).Seconds(), u.Done, u.Total, u.Label, u.TraceName, u.Err)
+			case u.Err != nil:
+				// Terminal update; the error surfaces through run().
+			default:
+				tag := ""
+				if u.Replayed {
+					tag = " [journal]"
+				}
+				fmt.Fprintf(os.Stderr, "vccsweep: [%6.2fs] %3d/%d %s %s (%d window(s))%s\n",
+					time.Since(start).Seconds(), u.Done, u.Total, u.Label, u.TraceName, u.Windows, tag)
 			}
-			fmt.Fprintf(os.Stderr, "vccsweep: [%6.2fs] %3d/%d %s %s (%d window(s))\n",
-				time.Since(start).Seconds(), u.Done, u.Total, u.Label, u.TraceName, u.Windows)
 		})
 	}
 
@@ -91,13 +107,28 @@ func run(insts, seeds int, modesFlag string, csv bool) error {
 	// Collect the streaming sweep, rendering each voltage's row as soon as
 	// every requested design at that level has landed (rows stay in
 	// voltage order: a finished level waits for slower earlier levels).
-	return sim.StreamLevels(context.Background(), traces, modes, levels,
-		func(v circuit.Millivolts, pts map[circuit.Mode]*sim.Point) error {
+	// With -allow-partial, failed operating points render as FAIL(reason)
+	// cells and the sweep keeps going.
+	failed := 0
+	err = sim.StreamLevels(context.Background(), traces, modes, levels,
+		func(v circuit.Millivolts, pts map[circuit.Mode]*sim.Point, fails map[circuit.Mode]*sim.CellError) error {
 			row := []interface{}{v}
 			for _, m := range modes {
+				if ce := fails[m]; ce != nil {
+					failed++
+					row = append(row, "FAIL("+ce.Reason(32)+")", "-", "-")
+					continue
+				}
 				p := pts[m].Agg
 				row = append(row, p.IPC(), fmt.Sprintf("%.0f", p.Time), p.Plan.FreqGain)
 			}
 			return t.AddRow(row...)
 		})
+	if err != nil {
+		return err
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "vccsweep: %d operating point(s) failed; rows marked FAIL\n", failed)
+	}
+	return nil
 }

@@ -140,15 +140,27 @@ type Model struct {
 	fo4Norm float64 // normalization so Phase(700) == 1
 }
 
-// NewModel returns a Model for the given parameters. It panics if the
-// parameters are structurally invalid (e.g. Vth at or above VMin), since
-// that indicates a programming error rather than a runtime condition.
-func NewModel(p Params) *Model {
+// Validate reports whether the parameters are structurally usable.
+// NewModel panics on the same conditions (an invariant backstop), so API
+// boundaries that accept user-supplied parameters — core.New via
+// Config.Circuit — check here first and return the error instead.
+func (p Params) Validate() error {
 	if p.VthMV >= float64(VMin) {
-		panic("circuit: VthMV must be below the minimum operating voltage")
+		return fmt.Errorf("circuit: VthMV %.0f must be below the minimum operating voltage %d", p.VthMV, VMin)
 	}
 	if p.FO4PerPhase <= 0 {
-		panic("circuit: FO4PerPhase must be positive")
+		return fmt.Errorf("circuit: FO4PerPhase must be positive (got %v)", p.FO4PerPhase)
+	}
+	return nil
+}
+
+// NewModel returns a Model for the given parameters. It panics if the
+// parameters are structurally invalid (e.g. Vth at or above VMin), since
+// that indicates a programming error rather than a runtime condition;
+// validate user input with Params.Validate first.
+func NewModel(p Params) *Model {
+	if err := p.Validate(); err != nil {
+		panic(err.Error())
 	}
 	m := &Model{p: p, fo4Norm: 1}
 	m.fo4Norm = 1 / (float64(p.FO4PerPhase) * m.fo4Raw(VMax))

@@ -94,6 +94,14 @@ import (
 	"lowvcc/internal/scoreboard"
 )
 
+// EngineVersion identifies the simulation semantics for result caching:
+// any change that can alter a simulated Result for the same (config,
+// trace) input — timing model, stall attribution, stat definitions — must
+// bump it. internal/journal keys cached cell results by it, so a bump
+// invalidates every previously journaled entry at once instead of
+// replaying stale numbers.
+const EngineVersion = "lowvcc-engine-6"
+
 // Config describes one simulated operating point.
 type Config struct {
 	// Vcc is the supply level; Mode selects the design (baseline, IRAW,
@@ -186,6 +194,23 @@ func (c Config) validate() error {
 	}
 	if c.MispredictPenalty < 1 || c.FrontDepth < 1 {
 		return fmt.Errorf("core: penalties must be positive")
+	}
+	// Sub-block configurations are user input at this boundary: reject them
+	// with errors here so the constructors' invariant panics stay
+	// unreachable through New.
+	if err := c.Scoreboard.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if err := c.IQ.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if err := c.Predictor.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if c.Circuit != nil {
+		if err := c.Circuit.Validate(); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
 	}
 	return nil
 }

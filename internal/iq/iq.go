@@ -56,13 +56,24 @@ type Queue struct {
 	NOOPsInjected uint64
 }
 
-// New returns an empty queue.
-func New(cfg Config) *Queue {
+// Validate reports whether the configuration is structurally usable. New
+// panics on the same conditions (an invariant backstop), so API boundaries
+// that accept user-supplied configs — core.New — check here first and
+// return the error instead.
+func (cfg Config) Validate() error {
 	if cfg.Size <= 0 || cfg.ICI <= 0 || cfg.AI <= 0 {
-		panic(fmt.Sprintf("iq: invalid config %+v", cfg))
+		return fmt.Errorf("iq: invalid config %+v", cfg)
 	}
 	if cfg.Size&(cfg.Size-1) != 0 {
-		panic(fmt.Sprintf("iq: size %d must be a power of two (ring pointer arithmetic)", cfg.Size))
+		return fmt.Errorf("iq: size %d must be a power of two (ring pointer arithmetic)", cfg.Size)
+	}
+	return nil
+}
+
+// New returns an empty queue.
+func New(cfg Config) *Queue {
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
 	}
 	return &Queue{cfg: cfg, ring: make([]Entry, cfg.Size)}
 }

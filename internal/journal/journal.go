@@ -1,0 +1,256 @@
+// Package journal persists completed sweep-cell results on disk so an
+// interrupted sweep campaign can resume without re-simulating finished
+// work. It is the durability half of the sim runner's resilience layer
+// (sim.Runner.WithJournal) and the content-addressed result cache the
+// ROADMAP's sweep-service item calls for.
+//
+// # Keying
+//
+// Entries are content-addressed: the caller derives a key from everything
+// the cell's Result is a pure function of — the trace bytes, the full core
+// configuration, the windowing parameters and the engine version
+// (core.EngineVersion) — via Key. Two cells with the same key are
+// guaranteed bit-identical by the engine's determinism contract, which is
+// what makes replaying an entry indistinguishable from re-running the
+// cell. Anything that changes simulated Results must change the key
+// (bumping core.EngineVersion invalidates every prior entry at once).
+//
+// # Durability
+//
+// The journal is append-only at the granularity of whole entries: one
+// immutable file per key, written to a temporary file first and renamed
+// into place, so a crash — including kill -9 — can never leave a
+// half-written entry under a final name. Defense in depth for torn writes
+// that bypass the rename (a dying filesystem, fault injection): every
+// entry carries a header with the payload's SHA-256 and length, and Get
+// verifies both before decoding. A truncated, corrupt or undecodable entry
+// is treated as a miss (and counted), never as data — the cell simply
+// re-runs.
+//
+// Entries encode as JSON. Go's encoder emits the shortest float64
+// representation that round-trips exactly and core.Result is all exported
+// scalar fields, so a decoded Result is bit-identical to the recorded one
+// (asserted by TestEntryRoundTrip).
+package journal
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+
+	"lowvcc/internal/core"
+)
+
+// Entry is one journaled cell: the stitched Result plus the shard plan
+// size it was produced under (PointUpdate.Windows on replay).
+type Entry struct {
+	Key     string
+	Windows int
+	Result  *core.Result
+}
+
+// Stats is a snapshot of the journal's access counters.
+type Stats struct {
+	Hits, Misses uint64
+	// Corrupt counts entries rejected by the integrity check (truncated or
+	// scrambled files); each also counted as a miss.
+	Corrupt uint64
+	// WriteErrors counts failed Puts. The journal is a cache: a failed
+	// write costs a future re-simulation, never correctness.
+	WriteErrors uint64
+}
+
+// Journal is a directory of immutable cell entries. Safe for concurrent
+// use by multiple goroutines (and, thanks to atomic renames, by multiple
+// processes sharing the directory).
+type Journal struct {
+	dir string
+
+	hits, misses, corrupt, writeErrs atomic.Uint64
+}
+
+// Open creates the journal directory if needed and returns a handle.
+func Open(dir string) (*Journal, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("journal: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	return &Journal{dir: dir}, nil
+}
+
+// Dir returns the journal's directory.
+func (j *Journal) Dir() string { return j.dir }
+
+// Stats returns a snapshot of the access counters.
+func (j *Journal) Stats() Stats {
+	return Stats{
+		Hits:        j.hits.Load(),
+		Misses:      j.misses.Load(),
+		Corrupt:     j.corrupt.Load(),
+		WriteErrors: j.writeErrs.Load(),
+	}
+}
+
+// Key derives a content-address from its parts: each part is
+// length-prefixed before hashing, so ("ab", "c") and ("a", "bc") never
+// collide. The result is a hex SHA-256, safe as a file name.
+func Key(parts ...string) string {
+	h := sha256.New()
+	var n [8]byte
+	for _, p := range parts {
+		binary.LittleEndian.PutUint64(n[:], uint64(len(p)))
+		h.Write(n[:])
+		h.Write([]byte(p))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// header is the integrity line preceding the JSON payload.
+const headerMagic = "lowvccjnl1"
+
+func (j *Journal) path(key string) string { return filepath.Join(j.dir, key+".cell") }
+
+// encode renders the entry file: one header line with the payload's
+// SHA-256 and length, then the payload.
+func encode(e *Entry) ([]byte, error) {
+	payload, err := json.Marshal(e)
+	if err != nil {
+		return nil, fmt.Errorf("journal: encoding %s: %w", e.Key, err)
+	}
+	header := fmt.Sprintf("%s %x %d\n", headerMagic, sha256.Sum256(payload), len(payload))
+	return append([]byte(header), payload...), nil
+}
+
+// Get returns the entry for key, or (nil, false) when it is absent or
+// fails the integrity check. Corrupt entries count as misses: the caller
+// re-runs the cell and Put overwrites the bad file.
+func (j *Journal) Get(key string) (*Entry, bool) {
+	data, err := os.ReadFile(j.path(key))
+	if err != nil {
+		j.misses.Add(1)
+		return nil, false
+	}
+	e, err := decode(key, data)
+	if err != nil {
+		j.corrupt.Add(1)
+		j.misses.Add(1)
+		return nil, false
+	}
+	j.hits.Add(1)
+	return e, true
+}
+
+func decode(key string, data []byte) (*Entry, error) {
+	nl := strings.IndexByte(string(data), '\n')
+	if nl < 0 {
+		return nil, fmt.Errorf("journal: %s: truncated header", key)
+	}
+	var sum string
+	var length int
+	var magicGot string
+	if _, err := fmt.Sscanf(string(data[:nl]), "%s %s %d", &magicGot, &sum, &length); err != nil || magicGot != headerMagic {
+		return nil, fmt.Errorf("journal: %s: bad header", key)
+	}
+	payload := data[nl+1:]
+	if len(payload) != length {
+		return nil, fmt.Errorf("journal: %s: payload %d bytes, header says %d (truncated write)", key, len(payload), length)
+	}
+	if got := fmt.Sprintf("%x", sha256.Sum256(payload)); got != sum {
+		return nil, fmt.Errorf("journal: %s: checksum mismatch", key)
+	}
+	var e Entry
+	if err := json.Unmarshal(payload, &e); err != nil {
+		return nil, fmt.Errorf("journal: %s: %w", key, err)
+	}
+	if e.Key != key {
+		return nil, fmt.Errorf("journal: entry %s stored under key %s", e.Key, key)
+	}
+	if e.Result == nil {
+		return nil, fmt.Errorf("journal: %s: entry without result", key)
+	}
+	return &e, nil
+}
+
+// Put records the entry under its key: written to a unique temporary file
+// and renamed into place, so concurrent writers (which, by the keying
+// contract, carry identical content) and crashes are both safe. Errors are
+// counted and returned; callers may ignore them — a lost entry costs one
+// re-simulation.
+func (j *Journal) Put(e *Entry) error {
+	data, err := encode(e)
+	if err != nil {
+		j.writeErrs.Add(1)
+		return err
+	}
+	return j.writeFile(e.Key, data)
+}
+
+// PutTruncated writes the entry's file cut off after keep bytes, bypassing
+// the atomic-rename protocol — a deterministic stand-in for a torn write
+// (process killed mid-write on a filesystem that reordered the rename).
+// Test and fault-injection use only: Get must reject the result.
+func (j *Journal) PutTruncated(e *Entry, keep int) error {
+	data, err := encode(e)
+	if err != nil {
+		j.writeErrs.Add(1)
+		return err
+	}
+	if keep < 0 || keep > len(data) {
+		keep = len(data) / 2
+	}
+	if err := os.WriteFile(j.path(e.Key), data[:keep], 0o644); err != nil {
+		j.writeErrs.Add(1)
+		return fmt.Errorf("journal: %w", err)
+	}
+	return nil
+}
+
+func (j *Journal) writeFile(key string, data []byte) error {
+	tmp, err := os.CreateTemp(j.dir, ".put-*")
+	if err != nil {
+		j.writeErrs.Add(1)
+		return fmt.Errorf("journal: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		j.writeErrs.Add(1)
+		return fmt.Errorf("journal: writing %s: %w", key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		j.writeErrs.Add(1)
+		return fmt.Errorf("journal: closing %s: %w", key, err)
+	}
+	if err := os.Rename(tmpName, j.path(key)); err != nil {
+		os.Remove(tmpName)
+		j.writeErrs.Add(1)
+		return fmt.Errorf("journal: publishing %s: %w", key, err)
+	}
+	return nil
+}
+
+// Len reports how many well-named entries the journal directory holds
+// (without verifying their integrity).
+func (j *Journal) Len() (int, error) {
+	ents, err := os.ReadDir(j.dir)
+	if err != nil {
+		return 0, fmt.Errorf("journal: %w", err)
+	}
+	n := 0
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".cell") {
+			n++
+		}
+	}
+	return n, nil
+}

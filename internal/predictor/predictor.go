@@ -71,16 +71,27 @@ type Predictor struct {
 	stats Stats
 }
 
-// New returns a predictor with weakly-not-taken counters and an empty RSB.
-func New(cfg Config) *Predictor {
+// Validate reports whether the configuration is structurally usable. New
+// panics on the same conditions (an invariant backstop), so API boundaries
+// that accept user-supplied configs — core.New — check here first and
+// return the error instead.
+func (cfg Config) Validate() error {
 	if cfg.BPEntries <= 0 || cfg.BPEntries&(cfg.BPEntries-1) != 0 {
-		panic(fmt.Sprintf("predictor: BPEntries %d must be a positive power of two", cfg.BPEntries))
+		return fmt.Errorf("predictor: BPEntries %d must be a positive power of two", cfg.BPEntries)
 	}
 	if cfg.RSBEntries <= 0 {
-		panic("predictor: RSBEntries must be positive")
+		return fmt.Errorf("predictor: RSBEntries must be positive")
 	}
 	if cfg.HistoryBits < 0 || cfg.HistoryBits > 20 {
-		panic(fmt.Sprintf("predictor: HistoryBits %d out of range", cfg.HistoryBits))
+		return fmt.Errorf("predictor: HistoryBits %d out of range", cfg.HistoryBits)
+	}
+	return nil
+}
+
+// New returns a predictor with weakly-not-taken counters and an empty RSB.
+func New(cfg Config) *Predictor {
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
 	}
 	p := &Predictor{
 		cfg:        cfg,

@@ -93,10 +93,21 @@ type Scoreboard struct {
 	ExtraBits int
 }
 
+// Validate reports whether the configuration is structurally usable. New
+// panics on the same conditions (an invariant backstop), so API boundaries
+// that accept user-supplied configs — core.New — check here first and
+// return the error instead.
+func (cfg Config) Validate() error {
+	if cfg.Regs <= 0 || cfg.Bits <= 1 || cfg.Bits > 31 || cfg.BypassLevels < 0 {
+		return fmt.Errorf("scoreboard: invalid config %+v", cfg)
+	}
+	return nil
+}
+
 // New returns a scoreboard with every register ready.
 func New(cfg Config) *Scoreboard {
-	if cfg.Regs <= 0 || cfg.Bits <= 1 || cfg.Bits > 31 || cfg.BypassLevels < 0 {
-		panic(fmt.Sprintf("scoreboard: invalid config %+v", cfg))
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
 	}
 	sb := &Scoreboard{
 		cfg:       cfg,

@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// CellError is one (point, trace) cell's failure, carrying everything a
+// sweep operator needs to locate and triage it: the cell's identity, the
+// failing window, how many attempts were made, and — when the cause was a
+// panic — the recovered value's stack. It is the Err payload of per-cell
+// PointUpdates and the deterministic error batch collectors surface.
+type CellError struct {
+	// Label and TraceName identify the cell as the spec named it (Label
+	// encodes the operating point, e.g. "sweep 500mV iraw").
+	Label     string
+	TraceName string
+	// Point and Trace are the cell's indices: specs[Point].Traces[Trace].
+	Point, Trace int
+	// Window is the failing window's index; Windows the cell's shard-plan
+	// size (0/1 for unsharded cells).
+	Window, Windows int
+	// Attempts counts executions of the failing window (1 = no retries).
+	Attempts int
+	// Panicked reports whether the cause was a recovered panic; Stack is
+	// the goroutine stack captured at the recovery point.
+	Panicked bool
+	Stack    []byte
+	// Err is the underlying cause.
+	Err error
+}
+
+func (e *CellError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sim: cell %s %s", e.Label, e.TraceName)
+	if e.Windows > 1 {
+		fmt.Fprintf(&b, " window %d/%d", e.Window, e.Windows)
+	}
+	if e.Attempts > 1 {
+		fmt.Fprintf(&b, " failed after %d attempts", e.Attempts)
+	} else {
+		b.WriteString(" failed")
+	}
+	if e.Panicked {
+		b.WriteString(" (panic)")
+	}
+	fmt.Fprintf(&b, ": %v", e.Err)
+	return b.String()
+}
+
+func (e *CellError) Unwrap() error { return e.Err }
+
+// Reason is a compact cause for table cells and progress lines: the
+// underlying error's message truncated to max runes (0 = no limit),
+// without the identity prefix Error carries.
+func (e *CellError) Reason(max int) string {
+	msg := "unknown"
+	if e.Err != nil {
+		msg = e.Err.Error()
+	}
+	if e.Panicked {
+		msg = "panic: " + msg
+	}
+	if max > 0 {
+		if r := []rune(msg); len(r) > max {
+			msg = string(r[:max-1]) + "…"
+		}
+	}
+	return msg
+}
+
+// TimeoutError reports a cell that exhausted its per-point wall-clock
+// budget (Runner.PointTimeout). Timeouts are transient: whether one fires
+// depends on machine load, so the retry policy may retry the cell with a
+// re-armed budget.
+type TimeoutError struct {
+	Label     string
+	TraceName string
+	Budget    time.Duration
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("%s: %s: point timeout after %v", e.Label, e.TraceName, e.Budget)
+}
+
+// Transient marks the timeout retryable.
+func (e *TimeoutError) Transient() bool { return true }
+
+// panicError wraps a recovered panic value so it travels as an error with
+// its stack.
+type panicError struct {
+	value any
+	stack []byte
+}
+
+func (e *panicError) Error() string { return fmt.Sprintf("panic: %v", e.value) }
+
+// IsTransient reports whether err (or anything it wraps) marks itself
+// retryable via a `Transient() bool` method — the classification the
+// runner's bounded-retry policy uses. Permanent failures (panics,
+// configuration errors, simulation errors) and context cancellation are
+// never transient.
+func IsTransient(err error) bool {
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}
+
+// PartialError aggregates the failed cells of an allow-partial batch run.
+// Batch collectors cannot render FAIL markers the way streaming tables
+// can, so they surface every failure in one deterministic error instead
+// (cells in (point, trace) order).
+type PartialError struct {
+	// Cells are the failures in (point, trace) order.
+	Cells []*CellError
+	// Total is the run's total cell count.
+	Total int
+}
+
+func (e *PartialError) Error() string {
+	if len(e.Cells) == 0 {
+		return "sim: partial run (no failed cells)"
+	}
+	return fmt.Sprintf("sim: %d of %d cells failed; first: %v", len(e.Cells), e.Total, e.Cells[0])
+}
+
+func (e *PartialError) Unwrap() error {
+	if len(e.Cells) == 0 {
+		return nil
+	}
+	return e.Cells[0]
+}

@@ -100,21 +100,42 @@ func fig11bRow(v circuit.Millivolts, base, iraw *core.Result) Fig11bRow {
 // of the grid is still running. The returned slice is the complete figure,
 // bit-identical to the batch Figure11b (which is implemented as this
 // function with a nil emit).
-func Figure11bStream(ctx context.Context, traces []*trace.Trace, emit func(Fig11bRow)) ([]Fig11bRow, error) {
+//
+// In partial mode a voltage whose cells failed is handed to emit with fail
+// set (its row carries only the Vcc) and left out of the returned slice;
+// the figure then comes back with a *PartialError listing every failed
+// voltage's cell error, alongside the completed rows.
+func Figure11bStream(ctx context.Context, traces []*trace.Trace, emit func(row Fig11bRow, fail *CellError)) ([]Fig11bRow, error) {
 	modes := []circuit.Mode{circuit.ModeBaseline, circuit.ModeIRAW}
 	levels := circuit.Levels()
 	rows := make([]Fig11bRow, 0, len(levels))
+	var failed []*CellError
 	err := defaultRunner.StreamLevels(ctx, traces, modes, levels,
-		func(v circuit.Millivolts, pts map[circuit.Mode]*Point) error {
+		func(v circuit.Millivolts, pts map[circuit.Mode]*Point, fails map[circuit.Mode]*CellError) error {
+			if len(fails) > 0 {
+				// Deterministic representative: baseline's failure first.
+				fail := fails[circuit.ModeBaseline]
+				if fail == nil {
+					fail = fails[circuit.ModeIRAW]
+				}
+				failed = append(failed, fail)
+				if emit != nil {
+					emit(Fig11bRow{Vcc: v}, fail)
+				}
+				return nil
+			}
 			row := fig11bRow(v, pts[circuit.ModeBaseline].Agg, pts[circuit.ModeIRAW].Agg)
 			rows = append(rows, row)
 			if emit != nil {
-				emit(row)
+				emit(row, nil)
 			}
 			return nil
 		})
 	if err != nil {
 		return nil, err
+	}
+	if len(failed) > 0 {
+		return rows, &PartialError{Cells: failed, Total: len(modes) * len(levels)}
 	}
 	return rows, nil
 }

@@ -2,6 +2,8 @@ package sim
 
 import (
 	"context"
+	"errors"
+	"sort"
 
 	"lowvcc/internal/circuit"
 	"lowvcc/internal/core"
@@ -13,15 +15,30 @@ import (
 // aggregates per point after the stream closes — always in (point,
 // trace-index) order, so the output is bit-identical to the sequential
 // path regardless of worker count, scheduling or emission order.
+//
+// With AllowPartial, failed cells leave nil result slots and runPoints
+// returns the completed grid alongside a *PartialError listing every
+// failure in (point, trace) order; per-point aggregates are skipped (nil),
+// since an aggregate over a partial trace set would silently misrepresent
+// the point.
 func (r *Runner) runPoints(ctx context.Context, specs []PointSpec) ([][]*core.Result, []*core.Result, error) {
 	results := make([][]*core.Result, len(specs))
+	total := 0
 	for i := range specs {
 		results[i] = make([]*core.Result, len(specs[i].Traces))
+		total += len(specs[i].Traces)
 	}
 
 	var firstErr error
+	var failed []*CellError
 	for u := range r.Stream(ctx, specs) {
 		if u.Err != nil {
+			if u.Point >= 0 {
+				// Isolated cell failure (AllowPartial): record and keep
+				// collecting.
+				failed = append(failed, asCellError(u.Err))
+				continue
+			}
 			if firstErr == nil {
 				firstErr = u.Err
 			}
@@ -37,6 +54,15 @@ func (r *Runner) runPoints(ctx context.Context, specs []PointSpec) ([][]*core.Re
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
+	if len(failed) > 0 {
+		sort.Slice(failed, func(i, j int) bool {
+			if failed[i].Point != failed[j].Point {
+				return failed[i].Point < failed[j].Point
+			}
+			return failed[i].Trace < failed[j].Trace
+		})
+		return results, nil, &PartialError{Cells: failed, Total: total}
+	}
 
 	aggs := make([]*core.Result, len(specs))
 	for i := range specs {
@@ -48,10 +74,16 @@ func (r *Runner) runPoints(ctx context.Context, specs []PointSpec) ([][]*core.Re
 // RunPoint simulates every trace at one operating point (fresh core,
 // warm-up pass, measured pass per trace — or sharded sample windows when
 // windowing is enabled) across the runner's pool and returns the per-trace
-// results plus their aggregate.
+// results plus their aggregate. In partial mode a *PartialError comes back
+// alongside the completed per-trace results (failed slots nil, aggregate
+// nil).
 func (r *Runner) RunPoint(ctx context.Context, cfg core.Config, traces []*trace.Trace) ([]*core.Result, *core.Result, error) {
 	results, aggs, err := r.runPoints(ctx, []PointSpec{{Label: "point", Cfg: cfg, Traces: traces}})
 	if err != nil {
+		var pe *PartialError
+		if errors.As(err, &pe) && len(results) == 1 {
+			return results[0], nil, err
+		}
 		return nil, nil, err
 	}
 	return results[0], aggs[0], nil
@@ -59,15 +91,22 @@ func (r *Runner) RunPoint(ctx context.Context, cfg core.Config, traces []*trace.
 
 // Sweep runs the suite for each voltage level in each mode on the runner's
 // pool, collecting the streaming sweep into a grid. The result is indexed
-// [mode][voltage].
+// [mode][voltage]. In partial mode, failed operating points are simply
+// absent from the grid and a *PartialError (cells in point order) comes
+// back alongside the completed points.
 func (r *Runner) Sweep(ctx context.Context, traces []*trace.Trace, modes []circuit.Mode, levels []circuit.Millivolts) (map[circuit.Mode]map[circuit.Millivolts]*Point, error) {
 	out := make(map[circuit.Mode]map[circuit.Millivolts]*Point, len(modes))
 	for _, mode := range modes {
 		out[mode] = make(map[circuit.Millivolts]*Point, len(levels))
 	}
 	var firstErr error
+	var failed []*CellError
 	for u := range r.SweepStream(ctx, traces, modes, levels) {
 		if u.Err != nil {
+			if !u.Terminal {
+				failed = append(failed, asCellError(u.Err))
+				continue
+			}
 			if firstErr == nil {
 				firstErr = u.Err
 			}
@@ -80,6 +119,15 @@ func (r *Runner) Sweep(ctx context.Context, traces []*trace.Trace, modes []circu
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if len(failed) > 0 {
+		sort.Slice(failed, func(i, j int) bool {
+			if failed[i].Point != failed[j].Point {
+				return failed[i].Point < failed[j].Point
+			}
+			return failed[i].Trace < failed[j].Trace
+		})
+		return out, &PartialError{Cells: failed, Total: len(modes) * len(levels)}
 	}
 	return out, nil
 }

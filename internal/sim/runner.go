@@ -61,6 +61,37 @@ type Runner struct {
 	// pre-functional behaviour, kept for equivalence testing and
 	// benchmarking).
 	WarmMode core.WarmMode
+
+	// Retries bounds how many times a transiently-failed window (timeout,
+	// preemption — anything IsTransient reports retryable) re-executes
+	// before the cell is declared failed: a window runs at most Retries+1
+	// times. Permanent failures (panics, simulation errors) never retry.
+	Retries int
+
+	// RetryBackoff is the sleep before the first retry, doubling per
+	// subsequent attempt (0 = retry immediately). The sleep aborts promptly
+	// on context cancellation.
+	RetryBackoff time.Duration
+
+	// JournalDir, when non-empty, enables the on-disk result journal
+	// (internal/journal) rooted there: every completed cell's stitched
+	// Result is recorded under a content address covering the trace bytes,
+	// the full core configuration, the windowing plan and the engine
+	// version, and a later run with the same inputs replays recorded cells
+	// instead of re-simulating them — a killed sweep resumes bit-identical
+	// to an uninterrupted one. "" (the default) disables journaling.
+	JournalDir string
+
+	// AllowPartial switches failure handling from strict (a failed cell
+	// cancels the sweep; the stream ends with one terminal error) to
+	// partial (a failed cell emits its own *CellError update and every
+	// other cell still runs). Batch collectors in partial mode return the
+	// completed results alongside a *PartialError listing the failed cells.
+	AllowPartial bool
+
+	// Faults, when non-nil, deterministically injects failures for tests
+	// (see FaultPlan). Production runners leave it nil.
+	Faults *FaultPlan
 }
 
 // WithPointTimeout sets the per-cell wall-clock budget and returns r for
@@ -91,6 +122,35 @@ func (r *Runner) WithWindow(windowInsts, warmInsts int) *Runner {
 // returns r for chaining.
 func (r *Runner) WithWarmMode(m core.WarmMode) *Runner {
 	r.WarmMode = m
+	return r
+}
+
+// WithRetry sets the transient-failure retry policy (n retries, backoff
+// before the first one, doubling) and returns r for chaining.
+func (r *Runner) WithRetry(n int, backoff time.Duration) *Runner {
+	r.Retries = n
+	r.RetryBackoff = backoff
+	return r
+}
+
+// WithJournal enables the on-disk result journal rooted at dir (""
+// disables it) and returns r for chaining.
+func (r *Runner) WithJournal(dir string) *Runner {
+	r.JournalDir = dir
+	return r
+}
+
+// WithAllowPartial selects partial-failure mode and returns r for
+// chaining.
+func (r *Runner) WithAllowPartial(allow bool) *Runner {
+	r.AllowPartial = allow
+	return r
+}
+
+// WithFaults attaches a fault-injection plan (tests only) and returns r
+// for chaining.
+func (r *Runner) WithFaults(p *FaultPlan) *Runner {
+	r.Faults = p
 	return r
 }
 

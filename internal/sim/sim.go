@@ -87,6 +87,50 @@
 // Windowing remains opt-in for the evaluation defaults; warm=0 windows and
 // window >= len(trace) stay bit-identical to the unsharded engine in both
 // modes.
+//
+// # Failure semantics
+//
+// The resilience layer wraps every unit of work so that one bad cell —
+// a simulation error, a deadlock timeout, even a panic deep in the
+// engine — has a bounded, predictable blast radius:
+//
+//   - Isolation. Each window job runs under recover(): a panic is
+//     converted into a typed *CellError carrying the cell's (mode, vcc,
+//     trace) identity, the failing window, the attempt count and the
+//     recovered stack, instead of killing the process. A worker whose
+//     core panicked or aborted drops its cached Core (Reset is
+//     bit-identical to fresh construction, so dropping is always safe).
+//
+//   - Retry. Failures that mark themselves retryable via a
+//     `Transient() bool` method (per-point timeouts, injected transient
+//     faults) re-execute up to Runner.Retries times with exponential
+//     backoff (Runner.RetryBackoff), re-arming the cell's wall-clock
+//     budget per attempt. Permanent failures never retry. A cell that
+//     exhausts its retries fails with Attempts recorded — reported, not
+//     silently dropped.
+//
+//   - Strict mode (default). A failed cell cancels outstanding work and
+//     the stream emits one terminal update (PointUpdate.Point = -1)
+//     carrying the deterministic lowest-index *CellError — exactly the
+//     pre-resilience contract, with a typed error.
+//
+//   - Partial mode (Runner.AllowPartial). A failed cell emits its own
+//     update with Err set and identity intact; every other cell — and
+//     every other window of the failed cell — still runs, so the
+//     reported per-cell error is deterministically the lowest-window one.
+//     Batch collectors return completed results plus a *PartialError
+//     listing the failures in (point, trace) order; streaming renderers
+//     (report.NewStreamTable consumers) mark the cell FAIL(reason) and
+//     keep going. Only context cancellation is terminal.
+//
+//   - Journal (Runner.JournalDir). Completed cells are recorded in an
+//     append-only content-addressed on-disk journal (internal/journal)
+//     keyed by (trace bytes, full config, windowing plan,
+//     core.EngineVersion). A re-run — including after kill -9 mid-sweep —
+//     replays recorded cells bit-identically (PointUpdate.Replayed) and
+//     simulates only the rest. Torn or corrupt entries are detected by
+//     checksum and re-simulated; journal write failures cost only the
+//     cache, never the sweep.
 package sim
 
 import (
@@ -152,6 +196,19 @@ func SetWindow(windowInsts, warmInsts int) { defaultRunner.WithWindow(windowInst
 // cmd tools' -warmmode flag). Startup-time only, like SetWorkers.
 func SetWarmMode(m core.WarmMode) { defaultRunner.WithWarmMode(m) }
 
+// SetJournal roots the default runner's on-disk result journal at dir (the
+// cmd tools' -journal flag); "" disables it. Startup-time only, like
+// SetWorkers.
+func SetJournal(dir string) { defaultRunner.WithJournal(dir) }
+
+// SetRetries sets the default runner's transient-failure retry policy (the
+// cmd tools' -retries flag). Startup-time only, like SetWorkers.
+func SetRetries(n int, backoff time.Duration) { defaultRunner.WithRetry(n, backoff) }
+
+// SetAllowPartial selects partial-failure mode on the default runner (the
+// cmd tools' -allow-partial flag). Startup-time only, like SetWorkers.
+func SetAllowPartial(allow bool) { defaultRunner.WithAllowPartial(allow) }
+
 // ParseWarmMode maps the -warmmode flag spellings to a core.WarmMode.
 func ParseWarmMode(s string) (core.WarmMode, error) {
 	switch s {
@@ -194,7 +251,7 @@ func SweepStream(ctx context.Context, traces []*trace.Trace, modes []circuit.Mod
 
 // StreamLevels collects a streaming sweep voltage by voltage on the
 // default runner; see Runner.StreamLevels.
-func StreamLevels(ctx context.Context, traces []*trace.Trace, modes []circuit.Mode, levels []circuit.Millivolts, onLevel func(circuit.Millivolts, map[circuit.Mode]*Point) error) error {
+func StreamLevels(ctx context.Context, traces []*trace.Trace, modes []circuit.Mode, levels []circuit.Millivolts, onLevel func(circuit.Millivolts, map[circuit.Mode]*Point, map[circuit.Mode]*CellError) error) error {
 	return defaultRunner.StreamLevels(ctx, traces, modes, levels, onLevel)
 }
 

@@ -2,13 +2,19 @@ package sim
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"lowvcc/internal/circuit"
 	"lowvcc/internal/core"
+	"lowvcc/internal/journal"
 	"lowvcc/internal/trace"
 )
 
@@ -22,8 +28,9 @@ type PointSpec struct {
 }
 
 // PointUpdate is one event on the result stream: a completed (point, trace)
-// cell, or — exactly once, as the last update before the channel closes —
-// the sweep's failure.
+// cell — successfully, from the journal, or (with AllowPartial) as an
+// isolated failure — or, as the last update before the channel closes, the
+// sweep's terminal error.
 type PointUpdate struct {
 	// Point and Trace locate the cell: specs[Point].Traces[Trace].
 	// Both are -1 on the terminal error update.
@@ -37,25 +44,46 @@ type PointUpdate struct {
 	Windows int
 	// Result is the cell's (stitched) result; nil when Err is set.
 	Result *core.Result
-	// Err carries the sweep's failure: the error of the lowest-index failed
-	// job, or the context's error on cancellation.
+	// Replayed reports that Result came from the journal, not simulation.
+	Replayed bool
+	// Err carries a failure. With Point >= 0 it is one cell's isolated
+	// *CellError (AllowPartial mode; the stream continues). With Point < 0
+	// it is the terminal update: the deterministic lowest-index *CellError
+	// in strict mode, or the context's error on cancellation.
 	Err error
 	// Done and Total report stream progress in cells.
 	Done, Total int
 }
 
 // cell is one (point, trace) unit of a stream: its shard plan, the
-// per-window result slots, and the countdown that triggers stitch-and-emit
-// when the last window lands.
+// per-window result and error slots, and the countdown that triggers
+// stitch-and-emit when the last window lands.
 type cell struct {
 	point, traceIdx int
 	name            string
 	windows         []trace.Window
 	results         []*core.Result
+	errs            []error
 	remaining       atomic.Int32
+	// key is the cell's journal content-address ("" when journaling is
+	// off); cached is its replayed entry when the journal already held it.
+	key    string
+	cached *journal.Entry
 	// startedNanos is the wall-clock stamp of the cell's first claimed
-	// window; the per-point timeout measures from here.
+	// window (re-armed when a window retries); the per-point timeout
+	// measures from here.
 	startedNanos atomic.Int64
+}
+
+// firstErr returns the lowest-window-index recorded error — deterministic
+// because every window of a failed cell still runs and records.
+func (cl *cell) firstErr() error {
+	for _, err := range cl.errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Stream is the runner's core: it fans every (point, trace) cell of specs —
@@ -67,49 +95,61 @@ type cell struct {
 // Emission order follows completion and is therefore scheduling-dependent,
 // but each update's content is not: a cell's Result is bit-identical for
 // any worker count, and collectors that place updates by (Point, Trace)
-// reconstruct exactly the sequential output. On failure the stream cancels
-// outstanding work, emits one terminal update carrying the deterministic
-// lowest-index error, and closes. Consumers must drain the channel until it
-// closes; abandoning it mid-stream requires cancelling ctx (the producer
-// drops sends once ctx is done, so cancellation drains promptly).
+// reconstruct exactly the sequential output.
+//
+// Failure semantics (see the package doc's "Failure semantics" section for
+// the full contract): every window job runs isolated — a panic inside the
+// engine is recovered into a typed *CellError instead of killing the
+// process — and transient failures retry per the runner's retry policy. In
+// strict mode (the default) a failed cell cancels outstanding work and the
+// stream emits one terminal update carrying the deterministic lowest-index
+// *CellError, then closes. With AllowPartial, failures are isolated to
+// their cell: the failed cell emits an update with Err set and identity
+// intact, every other cell still runs, and only context cancellation is
+// terminal. With journaling enabled, cells whose results are already
+// recorded replay instantly (Replayed=true) before any simulation starts.
+//
+// Consumers must drain the channel until it closes; abandoning it
+// mid-stream requires cancelling ctx (the producer drops sends once ctx is
+// done, so cancellation drains promptly).
 func (r *Runner) Stream(ctx context.Context, specs []PointSpec) <-chan PointUpdate {
 	ch := make(chan PointUpdate)
 	go r.stream(ctx, specs, ch)
 	return ch
 }
 
+// cfgHash content-addresses everything a cell's Result depends on besides
+// the trace: the full core configuration, the resolved windowing plan
+// parameters and the engine version.
+func (r *Runner) cfgHash(cfg core.Config) (string, error) {
+	blob, err := json.Marshal(cfg)
+	if err != nil {
+		return "", fmt.Errorf("sim: hashing config: %w", err)
+	}
+	h := sha256.Sum256(blob)
+	return journal.Key(hex.EncodeToString(h[:]),
+		fmt.Sprintf("win=%d warm=%d mode=%d", r.WindowInsts, r.warmInsts(), r.WarmMode),
+		core.EngineVersion), nil
+}
+
+// traceHash content-addresses a trace's full binary encoding (name and
+// records).
+func traceHash(t *trace.Trace) (string, error) {
+	h := sha256.New()
+	if err := trace.Write(h, t); err != nil {
+		return "", fmt.Errorf("sim: hashing trace %s: %w", t.Name, err)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
 func (r *Runner) stream(ctx context.Context, specs []PointSpec, ch chan<- PointUpdate) {
 	defer close(ch)
-
-	// Build the cells and the flat job list in (point, trace, window)
-	// order. Job order is what makes error reporting deterministic (the
-	// pool surfaces the lowest-index failure) and keeps consecutive jobs of
-	// one point adjacent, so the per-worker core-reuse cache keeps hitting.
-	type jobRef struct {
-		cell *cell
-		win  int
-	}
-	var cells []*cell
-	var jobs []jobRef
-	for p := range specs {
-		for ti, tr := range specs[p].Traces {
-			cl := &cell{
-				point: p, traceIdx: ti, name: tr.Name,
-				windows: trace.Shard(tr, r.WindowInsts, r.warmInsts()),
-			}
-			cl.results = make([]*core.Result, len(cl.windows))
-			cl.remaining.Store(int32(len(cl.windows)))
-			cells = append(cells, cl)
-			for w := range cl.windows {
-				jobs = append(jobs, jobRef{cl, w})
-			}
-		}
-	}
 
 	// emit serializes channel sends, the Done counter and the Progress
 	// callback: Progress observes strictly increasing Done values and is
 	// never invoked concurrently. Sends drop once ctx is cancelled so
 	// workers can never block on a departed consumer.
+	var cells []*cell
 	var emitMu sync.Mutex
 	done := 0
 	emit := func(u PointUpdate) {
@@ -126,95 +166,294 @@ func (r *Runner) stream(ctx context.Context, specs []PointSpec, ch chan<- PointU
 		}
 	}
 
-	workers := r.workers(len(jobs))
-	type workerCore struct {
-		point int
-		c     *core.Core
+	// The journal replays completed cells from an earlier (possibly
+	// killed) run; a journal that cannot open is an infrastructure
+	// failure, terminal in every mode.
+	var jnl *journal.Journal
+	if r.JournalDir != "" {
+		var err error
+		if jnl, err = journal.Open(r.JournalDir); err != nil {
+			emit(PointUpdate{Point: -1, Trace: -1, Err: err})
+			return
+		}
 	}
+
+	// Build the cells and the flat job list in (point, trace, window)
+	// order. Job order is what makes strict-mode error reporting
+	// deterministic (the pool surfaces the lowest-index failure) and keeps
+	// consecutive jobs of one point adjacent, so the per-worker core-reuse
+	// cache keeps hitting. Journaled cells take no jobs: they replay
+	// before the pool starts.
+	type jobRef struct {
+		cell *cell
+		win  int
+	}
+	var jobs []jobRef
+	var replayed []*cell
+	traceHashes := make(map[*trace.Trace]string)
+	for p := range specs {
+		var pointKey string
+		if jnl != nil {
+			k, err := r.cfgHash(specs[p].Cfg)
+			if err != nil {
+				emit(PointUpdate{Point: -1, Trace: -1, Err: err})
+				return
+			}
+			pointKey = k
+		}
+		for ti, tr := range specs[p].Traces {
+			cl := &cell{point: p, traceIdx: ti, name: tr.Name}
+			if jnl != nil {
+				th, ok := traceHashes[tr]
+				if !ok {
+					var err error
+					if th, err = traceHash(tr); err != nil {
+						emit(PointUpdate{Point: -1, Trace: -1, Err: err})
+						return
+					}
+					traceHashes[tr] = th
+				}
+				cl.key = journal.Key(th, pointKey)
+				if e, hit := jnl.Get(cl.key); hit {
+					cl.cached = e
+					cells = append(cells, cl)
+					replayed = append(replayed, cl)
+					continue
+				}
+			}
+			cl.windows = trace.Shard(tr, r.WindowInsts, r.warmInsts())
+			cl.results = make([]*core.Result, len(cl.windows))
+			cl.errs = make([]error, len(cl.windows))
+			cl.remaining.Store(int32(len(cl.windows)))
+			cells = append(cells, cl)
+			for w := range cl.windows {
+				jobs = append(jobs, jobRef{cl, w})
+			}
+		}
+	}
+
+	// Journal replays first, in (point, trace) order: a resumed sweep
+	// streams its recovered prefix instantly, then simulates only the
+	// missing cells.
+	for _, cl := range replayed {
+		emit(PointUpdate{
+			Point: cl.point, Trace: cl.traceIdx,
+			Label: specs[cl.point].Label, TraceName: cl.name,
+			Windows: cl.cached.Windows, Result: cl.cached.Result,
+			Replayed: true,
+		})
+	}
+
+	workers := r.workers(len(jobs))
 	cores := make([]workerCore, workers)
 	for i := range cores {
 		cores[i].point = -1
 	}
 
-	err := r.forEach(ctx, workers, len(jobs), func(worker, j int) error {
-		jr := jobs[j]
-		cl := jr.cell
+	// finish decrements the cell's window countdown and, on the last
+	// window, stitches-and-emits (journaling the stitched result) or emits
+	// the cell's deterministic lowest-window error.
+	finish := func(cl *cell) {
+		if cl.remaining.Add(-1) != 0 {
+			return
+		}
 		spec := &specs[cl.point]
-		win := &cl.windows[jr.win]
-
-		wc := &cores[worker]
-		if wc.point == cl.point && wc.c != nil {
-			if err := wc.c.Reset(); err != nil {
-				return fmt.Errorf("%s: reset: %w", spec.Label, err)
-			}
-		} else {
-			c, err := core.New(spec.Cfg)
-			if err != nil {
-				return fmt.Errorf("%s: %w", spec.Label, err)
-			}
-			wc.point, wc.c = cl.point, c
-		}
-
-		// Preemption: context cancellation and the per-point wall-clock
-		// budget are polled from inside the core's run loop, so even a
-		// single enormous window aborts promptly. The budget clock starts
-		// at the cell's first claimed window.
-		if r.PointTimeout > 0 {
-			cl.startedNanos.CompareAndSwap(0, time.Now().UnixNano())
-		}
-		wc.c.SetStopCheck(func() error {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			if r.PointTimeout > 0 {
-				elapsed := time.Duration(time.Now().UnixNano() - cl.startedNanos.Load())
-				if elapsed > r.PointTimeout {
-					return fmt.Errorf("%s: %s: point timeout after %v", spec.Label, cl.name, r.PointTimeout)
-				}
-			}
-			return nil
-		})
-		defer wc.c.SetStopCheck(nil)
-
-		var res *core.Result
-		var err error
-		if len(cl.windows) == 1 {
-			// Unsharded cell: the exact batch methodology — one untimed
-			// warm-up pass, one measured pass.
-			if _, err = wc.c.Run(win.Trace); err != nil {
-				return fmt.Errorf("%s: warmup %s: %w", spec.Label, win.Trace.Name, err)
-			}
-			if res, err = wc.c.Run(win.Trace); err != nil {
-				return fmt.Errorf("%s: measure %s: %w", spec.Label, win.Trace.Name, err)
-			}
-		} else {
-			// Sample window: one pass where the warm-up prefix executes
-			// unmeasured — functionally replayed or timed, per the runner's
-			// warm mode — and statistics cover only the window's span.
-			if res, err = wc.c.RunWindow(win.Trace, win.Warm, r.WarmMode); err != nil {
-				return fmt.Errorf("%s: window %s: %w", spec.Label, win.Trace.Name, err)
-			}
-		}
-		cl.results[jr.win] = res
-		if cl.remaining.Add(-1) == 0 {
-			// Last window of the cell: stitch in window order (deterministic
-			// regardless of which worker got here) and emit.
+		if err := cl.firstErr(); err != nil {
 			emit(PointUpdate{
 				Point: cl.point, Trace: cl.traceIdx,
 				Label: spec.Label, TraceName: cl.name,
-				Windows: len(cl.windows),
-				Result:  core.MergeWindowResults(cl.name, cl.results),
+				Windows: len(cl.windows), Err: err,
 			})
+			return
 		}
+		res := core.MergeWindowResults(cl.name, cl.results)
+		if jnl != nil {
+			e := &journal.Entry{Key: cl.key, Windows: len(cl.windows), Result: res}
+			if f := r.Faults.takeJournal(spec.Label, cl.name); f != nil {
+				_ = jnl.PutTruncated(e, -1)
+			} else {
+				// A failed write is not a cell failure: the journal is a
+				// cache, and losing an entry only costs re-simulation.
+				_ = jnl.Put(e)
+			}
+		}
+		emit(PointUpdate{
+			Point: cl.point, Trace: cl.traceIdx,
+			Label: spec.Label, TraceName: cl.name,
+			Windows: len(cl.windows), Result: res,
+		})
+	}
+
+	err := r.forEach(ctx, workers, len(jobs), func(worker, j int) error {
+		jr := jobs[j]
+		cl := jr.cell
+		err := r.runWindowAttempts(ctx, &specs[cl.point], &cores[worker], cl, jr.win)
+		if err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return ctxErr
+			}
+			cl.errs[jr.win] = err
+			if !r.AllowPartial {
+				// Strict mode: fail fast. The pool cancels outstanding
+				// work and surfaces the lowest-index failure; the failing
+				// cell's countdown never completes, so it cannot also emit.
+				return err
+			}
+		}
+		finish(cl)
 		return nil
 	})
 	if err != nil {
-		emit(PointUpdate{Point: -1, Trace: -1, Err: err})
+		u := PointUpdate{Point: -1, Trace: -1, Err: err}
+		var ce *CellError
+		if errors.As(err, &ce) {
+			u.Label, u.TraceName, u.Windows = ce.Label, ce.TraceName, ce.Windows
+		}
+		emit(u)
 	}
 }
 
+// workerCore is one worker's cached simulator, reused across consecutive
+// jobs of the same operating point.
+type workerCore struct {
+	point int
+	c     *core.Core
+}
+
+// invalidate drops the cached core. Called after any window failure: a
+// panic or abort can leave the core mid-run, and the engine's
+// fresh-equals-Reset guarantee makes dropping always safe.
+func (wc *workerCore) invalidate() {
+	wc.point, wc.c = -1, nil
+}
+
+// runWindowAttempts executes one window with the runner's bounded-retry
+// policy: transient failures (timeouts, injected transients) retry up to
+// r.Retries times with exponential backoff, re-arming the cell's
+// wall-clock budget per attempt; permanent failures and exhausted retries
+// return a *CellError carrying the cell identity, attempt count and — for
+// panics — the recovered stack. Context cancellation returns the context's
+// error unwrapped.
+func (r *Runner) runWindowAttempts(ctx context.Context, spec *PointSpec, wc *workerCore, cl *cell, win int) error {
+	for attempt := 1; ; attempt++ {
+		err := r.runWindowOnce(ctx, spec, wc, cl, win)
+		if err == nil {
+			return nil
+		}
+		wc.invalidate()
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return ctxErr
+		}
+		if attempt <= r.Retries && IsTransient(err) {
+			if r.RetryBackoff > 0 {
+				t := time.NewTimer(r.RetryBackoff << (attempt - 1))
+				select {
+				case <-ctx.Done():
+					t.Stop()
+					return ctx.Err()
+				case <-t.C:
+				}
+			}
+			// Re-arm the cell's budget: without this a retried timeout
+			// would expire instantly. Sibling windows of the same cell
+			// share the stamp, so their budgets extend too — conservative
+			// in the right direction for a guard rail.
+			cl.startedNanos.Store(time.Now().UnixNano())
+			continue
+		}
+		ce := &CellError{
+			Label: spec.Label, TraceName: cl.name,
+			Point: cl.point, Trace: cl.traceIdx,
+			Window: win, Windows: len(cl.windows),
+			Attempts: attempt, Err: err,
+		}
+		var pe *panicError
+		if errors.As(err, &pe) {
+			ce.Panicked = true
+			ce.Stack = pe.stack
+		}
+		return ce
+	}
+}
+
+// runWindowOnce executes one window attempt in isolation: a panic anywhere
+// inside the engine is recovered into a *panicError instead of unwinding
+// the worker goroutine, so one bad cell can never kill the sweep.
+func (r *Runner) runWindowOnce(ctx context.Context, spec *PointSpec, wc *workerCore, cl *cell, winIdx int) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &panicError{value: v, stack: debug.Stack()}
+		}
+	}()
+
+	// Fault injection (test/dev only): deterministic panics, delays,
+	// transient and permanent errors, process death — inside the recover
+	// scope, so injected panics exercise the real isolation path.
+	if f := r.Faults.takeWindow(spec.Label, cl.name, winIdx); f != nil {
+		if ierr := f.apply(spec.Label, cl.name, winIdx); ierr != nil {
+			return ierr
+		}
+	}
+
+	win := &cl.windows[winIdx]
+	if wc.point == cl.point && wc.c != nil {
+		if err := wc.c.Reset(); err != nil {
+			return fmt.Errorf("%s: reset: %w", spec.Label, err)
+		}
+	} else {
+		c, err := core.New(spec.Cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", spec.Label, err)
+		}
+		wc.point, wc.c = cl.point, c
+	}
+
+	// Preemption: context cancellation and the per-point wall-clock
+	// budget are polled from inside the core's run loop, so even a
+	// single enormous window aborts promptly. The budget clock starts
+	// at the cell's first claimed window.
+	if r.PointTimeout > 0 {
+		cl.startedNanos.CompareAndSwap(0, time.Now().UnixNano())
+	}
+	wc.c.SetStopCheck(func() error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if r.PointTimeout > 0 {
+			elapsed := time.Duration(time.Now().UnixNano() - cl.startedNanos.Load())
+			if elapsed > r.PointTimeout {
+				return &TimeoutError{Label: spec.Label, TraceName: cl.name, Budget: r.PointTimeout}
+			}
+		}
+		return nil
+	})
+	defer wc.c.SetStopCheck(nil)
+
+	var res *core.Result
+	if len(cl.windows) == 1 {
+		// Unsharded cell: the exact batch methodology — one untimed
+		// warm-up pass, one measured pass.
+		if _, err = wc.c.Run(win.Trace); err != nil {
+			return fmt.Errorf("%s: warmup %s: %w", spec.Label, win.Trace.Name, err)
+		}
+		if res, err = wc.c.Run(win.Trace); err != nil {
+			return fmt.Errorf("%s: measure %s: %w", spec.Label, win.Trace.Name, err)
+		}
+	} else {
+		// Sample window: one pass where the warm-up prefix executes
+		// unmeasured — functionally replayed or timed, per the runner's
+		// warm mode — and statistics cover only the window's span.
+		if res, err = wc.c.RunWindow(win.Trace, win.Warm, r.WarmMode); err != nil {
+			return fmt.Errorf("%s: window %s: %w", spec.Label, win.Trace.Name, err)
+		}
+	}
+	cl.results[winIdx] = res
+	return nil
+}
+
 // SweepUpdate is one event on a streaming sweep: a completed operating
-// point (all traces merged), or the sweep's failure.
+// point (all traces merged), one operating point's isolated failure
+// (AllowPartial mode), or the sweep's terminal error.
 type SweepUpdate struct {
 	Mode circuit.Mode
 	Vcc  circuit.Millivolts
@@ -222,7 +461,12 @@ type SweepUpdate struct {
 	// per-trace results in trace order. Both are nil when Err is set.
 	Point    *Point
 	PerTrace []*core.Result
+	// Err carries a failure. With Terminal false it is one operating
+	// point's failure (the lowest-trace-index *CellError; Mode and Vcc
+	// identify the point, and the sweep continues). With Terminal true it
+	// is the sweep's failure and the last update before close.
 	Err      error
+	Terminal bool
 	// Done and Total report progress in operating points.
 	Done, Total int
 }
@@ -246,21 +490,28 @@ func sweepSpecs(traces []*trace.Trace, modes []circuit.Mode, levels []circuit.Mi
 // StreamLevels collects a streaming sweep voltage by voltage: onLevel is
 // invoked in level order, each call made as soon as every requested mode
 // at that level has completed — while later levels may still be running —
-// with the level's points keyed by mode. An onLevel error cancels the
-// sweep; StreamLevels always drains the stream before returning, so
-// callers never strand the producer's workers.
-func (r *Runner) StreamLevels(ctx context.Context, traces []*trace.Trace, modes []circuit.Mode, levels []circuit.Millivolts, onLevel func(circuit.Millivolts, map[circuit.Mode]*Point) error) error {
+// with the level's points keyed by mode. With AllowPartial, failed
+// operating points arrive in the fails map instead (and never in pts), so
+// renderers can mark the cell and keep going; without it, fails is always
+// empty (the sweep aborts first). An onLevel error cancels the sweep;
+// StreamLevels always drains the stream before returning, so callers
+// never strand the producer's workers.
+func (r *Runner) StreamLevels(ctx context.Context, traces []*trace.Trace, modes []circuit.Mode, levels []circuit.Millivolts, onLevel func(circuit.Millivolts, map[circuit.Mode]*Point, map[circuit.Mode]*CellError) error) error {
 	sctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	grid := make(map[circuit.Mode]map[circuit.Millivolts]*Point, len(modes))
+	type slot struct {
+		p    *Point
+		fail *CellError
+	}
+	grid := make(map[circuit.Mode]map[circuit.Millivolts]*slot, len(modes))
 	for _, m := range modes {
-		grid[m] = make(map[circuit.Millivolts]*Point, len(levels))
+		grid[m] = make(map[circuit.Millivolts]*slot, len(levels))
 	}
 	next := 0 // first level not yet handed to onLevel
 	var firstErr error
 	for u := range r.SweepStream(sctx, traces, modes, levels) {
-		if u.Err != nil {
+		if u.Err != nil && u.Terminal {
 			if firstErr == nil {
 				firstErr = u.Err
 			}
@@ -269,19 +520,33 @@ func (r *Runner) StreamLevels(ctx context.Context, traces []*trace.Trace, modes 
 		if firstErr != nil {
 			continue // already failing: drain without emitting
 		}
-		grid[u.Mode][u.Vcc] = u.Point
+		if u.Err != nil {
+			ce := asCellError(u.Err)
+			grid[u.Mode][u.Vcc] = &slot{fail: ce}
+		} else {
+			grid[u.Mode][u.Vcc] = &slot{p: u.Point}
+		}
 		for next < len(levels) {
 			v := levels[next]
 			row := make(map[circuit.Mode]*Point, len(modes))
+			fails := make(map[circuit.Mode]*CellError)
+			filled := 0
 			for _, m := range modes {
-				if p := grid[m][v]; p != nil {
-					row[m] = p
+				s := grid[m][v]
+				if s == nil {
+					continue
+				}
+				filled++
+				if s.fail != nil {
+					fails[m] = s.fail
+				} else {
+					row[m] = s.p
 				}
 			}
-			if len(row) < len(modes) {
+			if filled < len(modes) {
 				break // a slower earlier level gates emission order
 			}
-			if err := onLevel(v, row); err != nil {
+			if err := onLevel(v, row, fails); err != nil {
 				firstErr = err
 				cancel() // stop producing; keep draining
 				break
@@ -295,12 +560,25 @@ func (r *Runner) StreamLevels(ctx context.Context, traces []*trace.Trace, modes 
 	return ctx.Err()
 }
 
+// asCellError coerces err into a *CellError, wrapping foreign errors so
+// consumers always get cell identity fields (possibly zero).
+func asCellError(err error) *CellError {
+	var ce *CellError
+	if errors.As(err, &ce) {
+		return ce
+	}
+	return &CellError{Point: -1, Trace: -1, Err: err}
+}
+
 // SweepStream runs the (modes x levels) grid and emits each operating
 // point as soon as its last trace cell lands: per-trace results merge in
 // trace order, so every emitted Point is bit-identical to what the batch
-// Sweep reports for that (mode, level). Emission order follows completion;
-// on failure one terminal update carries the error and the channel closes.
-// Consumers must drain the channel (cancel ctx to abandon early).
+// Sweep reports for that (mode, level). Emission order follows completion.
+// With AllowPartial, an operating point with failed trace cells emits an
+// update with Err set (Terminal false) and the sweep continues; otherwise
+// — and on cancellation — one Terminal update carries the error and the
+// channel closes. Consumers must drain the channel (cancel ctx to abandon
+// early).
 func (r *Runner) SweepStream(ctx context.Context, traces []*trace.Trace, modes []circuit.Mode, levels []circuit.Millivolts) <-chan SweepUpdate {
 	specs := sweepSpecs(traces, modes, levels)
 	out := make(chan SweepUpdate)
@@ -308,11 +586,16 @@ func (r *Runner) SweepStream(ctx context.Context, traces []*trace.Trace, modes [
 		defer close(out)
 		type pointState struct {
 			results   []*core.Result
+			errs      []error
 			remaining int
 		}
 		states := make([]pointState, len(specs))
 		for i := range specs {
-			states[i] = pointState{results: make([]*core.Result, len(traces)), remaining: len(traces)}
+			states[i] = pointState{
+				results:   make([]*core.Result, len(traces)),
+				errs:      make([]error, len(traces)),
+				remaining: len(traces),
+			}
 		}
 		done := 0
 		emit := func(u SweepUpdate) {
@@ -323,22 +606,38 @@ func (r *Runner) SweepStream(ctx context.Context, traces []*trace.Trace, modes [
 			}
 		}
 		for u := range r.Stream(ctx, specs) {
-			if u.Err != nil {
-				emit(SweepUpdate{Err: u.Err})
+			if u.Err != nil && u.Point < 0 {
+				emit(SweepUpdate{Err: u.Err, Terminal: true})
 				continue
 			}
 			st := &states[u.Point]
-			st.results[u.Trace] = u.Result
-			if st.remaining--; st.remaining == 0 {
-				mode := modes[u.Point/len(levels)]
-				v := levels[u.Point%len(levels)]
-				done++
-				emit(SweepUpdate{
-					Mode: mode, Vcc: v,
-					Point:    &Point{Vcc: v, Mode: mode, Agg: core.MergeResults(st.results)},
-					PerTrace: st.results,
-				})
+			if u.Err != nil {
+				st.errs[u.Trace] = u.Err
+			} else {
+				st.results[u.Trace] = u.Result
 			}
+			if st.remaining--; st.remaining > 0 {
+				continue
+			}
+			mode := modes[u.Point/len(levels)]
+			v := levels[u.Point%len(levels)]
+			done++
+			var pointErr error
+			for _, err := range st.errs {
+				if err != nil {
+					pointErr = err // lowest trace index: deterministic
+					break
+				}
+			}
+			if pointErr != nil {
+				emit(SweepUpdate{Mode: mode, Vcc: v, Err: pointErr})
+				continue
+			}
+			emit(SweepUpdate{
+				Mode: mode, Vcc: v,
+				Point:    &Point{Vcc: v, Mode: mode, Agg: core.MergeResults(st.results)},
+				PerTrace: st.results,
+			})
 		}
 	}()
 	return out

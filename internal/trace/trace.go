@@ -127,37 +127,51 @@ func Write(w io.Writer, t *Trace) error {
 }
 
 // Read decodes a trace from r. Instructions are validated on the way in so
-// that a corrupt file fails loudly rather than poisoning an experiment.
+// that a corrupt file fails loudly rather than poisoning an experiment:
+// empty input, a truncated header or record stream, a hostile count and
+// structurally invalid instructions all return descriptive errors, and the
+// decoder never allocates ahead of the bytes it has actually read.
 func Read(r io.Reader) (*Trace, error) {
 	br := bufio.NewReader(r)
 	var m [8]byte
-	if _, err := io.ReadFull(br, m[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	if n, err := io.ReadFull(br, m[:]); err != nil {
+		if err == io.EOF {
+			return nil, fmt.Errorf("trace: empty input (not a lowvcc trace)")
+		}
+		return nil, fmt.Errorf("trace: truncated magic (%d bytes, want 8): %w", n, err)
 	}
 	if m != magic {
 		return nil, ErrBadMagic
 	}
 	var nameLen uint16
 	if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
-		return nil, fmt.Errorf("trace: reading name length: %w", err)
+		return nil, fmt.Errorf("trace: truncated header: reading name length: %w", err)
 	}
 	name := make([]byte, nameLen)
 	if _, err := io.ReadFull(br, name); err != nil {
-		return nil, fmt.Errorf("trace: reading name: %w", err)
+		return nil, fmt.Errorf("trace: truncated header: reading %d-byte name: %w", nameLen, err)
 	}
 	var count uint64
 	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
-		return nil, fmt.Errorf("trace: reading count: %w", err)
+		return nil, fmt.Errorf("trace: truncated header: reading count: %w", err)
 	}
 	const maxInsts = 1 << 31
 	if count > maxInsts {
-		return nil, fmt.Errorf("trace: implausible instruction count %d", count)
+		return nil, fmt.Errorf("trace: implausible instruction count %d (max %d)", count, uint64(maxInsts))
 	}
-	t := &Trace{Name: string(name), Insts: make([]Inst, count)}
+	// Grow in bounded chunks rather than trusting the declared count: a
+	// truncated or hostile file fails at its first missing record instead
+	// of reserving count * 48 bytes up front.
+	const allocChunk = 1 << 16
+	initial := count
+	if initial > allocChunk {
+		initial = allocChunk
+	}
+	t := &Trace{Name: string(name), Insts: make([]Inst, 0, initial)}
 	var rec [recordBytes]byte
 	for i := uint64(0); i < count; i++ {
 		if _, err := io.ReadFull(br, rec[:]); err != nil {
-			return nil, fmt.Errorf("trace: record %d: %w", i, err)
+			return nil, fmt.Errorf("trace: truncated: record %d of declared %d: %w", i, count, err)
 		}
 		in := Inst{
 			PC:    binary.LittleEndian.Uint64(rec[0:]),
@@ -172,7 +186,7 @@ func Read(r io.Reader) (*Trace, error) {
 		if err := in.Validate(); err != nil {
 			return nil, fmt.Errorf("trace: record %d: %w", i, err)
 		}
-		t.Insts[i] = in
+		t.Insts = append(t.Insts, in)
 	}
 	return t, nil
 }

@@ -36,10 +36,22 @@ cd "$(dirname "$0")/.."
 tolerance="${BENCH_TOLERANCE:-0.20}"
 bias_max="${BENCH_BIAS_MAX:-5}"
 
+# Environments that cannot run the gate at all degrade to a clearly-labeled
+# skip (exit 0) rather than a cryptic failure: the gate's job is catching
+# engine regressions on machines that can measure them, not blocking
+# checkouts that cannot.
+if ! command -v go >/dev/null 2>&1; then
+    echo "bench_check: SKIP — no go toolchain on PATH; install Go to run the perf gate"
+    exit 0
+fi
+if ! command -v git >/dev/null 2>&1 || ! git rev-parse --git-dir >/dev/null 2>&1; then
+    echo "bench_check: note — not a git checkout; relative (rebuilt-baseline) comparison unavailable"
+fi
+
 ref_file="$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1 || true)"
 if [[ -z "$ref_file" ]]; then
-    echo "bench_check: no committed BENCH_*.json to compare against" >&2
-    exit 1
+    echo "bench_check: SKIP — no BENCH_*.json recorded yet; run scripts/bench.sh to create the first baseline"
+    exit 0
 fi
 
 # Resolve the baseline commit: the last commit that touched the newest
@@ -177,6 +189,23 @@ check_bias() {
     }'
 }
 
+# report_journal_overhead: informational, not a gate — journal-overhead-%
+# compares two wall-clock arms of one iteration, so it is too noisy to fail
+# a build on; it is recorded in BENCH_6.json (target: low single digits)
+# and surfaced here so a runaway cost is visible in every check run.
+report_journal_overhead() {
+    local ovh
+    ovh="$(run_metric "$head_bin" BenchmarkShardedLongTrace "journal-overhead-%" 1x)"
+    if [[ -z "$ovh" ]]; then
+        echo "bench_check: note — BenchmarkShardedLongTrace reports no journal-overhead-% (skipping the report)"
+        return 0
+    fi
+    awk -v ovh="$ovh" 'BEGIN {
+        printf "bench_check: journal overhead %.2f%% of sharded wall-clock (informational; expect low single digits)\n", ovh
+    }'
+}
+
 check BenchmarkCoreThroughput "insts/s" 5x required
 check BenchmarkMemBoundThroughput "membound-insts/s" 2x optional
 check_bias
+report_journal_overhead
