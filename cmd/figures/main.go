@@ -33,6 +33,7 @@ import (
 
 	"lowvcc/internal/circuit"
 	"lowvcc/internal/report"
+	"lowvcc/internal/service"
 	"lowvcc/internal/sim"
 	"lowvcc/internal/trace"
 )
@@ -53,6 +54,7 @@ func main() {
 	retries := flag.Int("retries", 0, "retry transiently-failed cells (timeouts) this many times")
 	retryBackoff := flag.Duration("retry-backoff", time.Second, "backoff before the first retry (doubles per attempt)")
 	allowPartial := flag.Bool("allow-partial", false, "keep going past failed cells; streaming tables mark them FAIL(reason)")
+	server := flag.String("server", "", "run the sweep on a sweepd daemon at this address (-fig 11b only)")
 	flag.Parse()
 	wm, err := sim.ParseWarmMode(*warmMode)
 	if err != nil {
@@ -87,7 +89,12 @@ func main() {
 	}
 
 	spec := sim.SuiteSpec{InstsPerTrace: *insts, SeedsPerProfile: *seeds}
-	g := &gen{csv: *csv, spec: spec, breakdownMV: circuit.Millivolts(*mv)}
+	g := &gen{csv: *csv, spec: spec, breakdownMV: circuit.Millivolts(*mv),
+		server: *server, window: *window, warm: *warm, warmMode: *warmMode}
+	if *server != "" && *fig != "11b" {
+		fmt.Fprintln(os.Stderr, "figures: -server only supports -fig 11b (the voltage-sweep figure)")
+		os.Exit(2)
+	}
 	if err := g.run(*fig); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
@@ -99,6 +106,14 @@ type gen struct {
 	spec        sim.SuiteSpec
 	breakdownMV circuit.Millivolts
 	traces      []*trace.Trace
+
+	// server, when non-empty, runs the Figure 11(b) sweep on a sweepd
+	// daemon at that address; the windowing flags ride along so the
+	// daemon's cell keys match a local journal's.
+	server   string
+	window   int
+	warm     int
+	warmMode string
 }
 
 func (g *gen) suite() []*trace.Trace {
@@ -165,14 +180,67 @@ func (g *gen) fig11a() error {
 	return g.emit(t)
 }
 
+// fig11bTable is the figure's stream table (shared by the local and
+// -server paths).
+func (g *gen) fig11bTable() (*report.StreamTable, error) {
+	return report.NewStreamTable(os.Stdout, g.csv,
+		"Figure 11(b): IRAW frequency increase and performance gains",
+		"Vcc", "freq-gain", "perf-gain", "ipc-base", "ipc-iraw", "stall-cost")
+}
+
+// serverFig11b renders Figure 11(b) from a sweepd daemon's results: the
+// client's level aggregation is bit-identical to the local sweep's, so the
+// table matches a local run of the same suite.
+func (g *gen) serverFig11b() error {
+	cl, err := service.NewClient(g.server)
+	if err != nil {
+		return err
+	}
+	t, err := g.fig11bTable()
+	if err != nil {
+		return err
+	}
+	spec := sim.SweepSpec{
+		InstsPerTrace:   g.spec.InstsPerTrace,
+		SeedsPerProfile: g.spec.SeedsPerProfile,
+		Modes:           []string{"baseline", "iraw"},
+		WindowInsts:     g.window,
+		WarmInsts:       g.warm,
+		WarmMode:        g.warmMode,
+	}
+	failed := 0
+	err = cl.StreamLevels(context.Background(), spec,
+		func(v circuit.Millivolts, pts map[circuit.Mode]*sim.Point, fails map[circuit.Mode]*sim.CellError) error {
+			for _, m := range []circuit.Mode{circuit.ModeBaseline, circuit.ModeIRAW} {
+				if ce := fails[m]; ce != nil {
+					failed++
+					return t.AddRow(v, "FAIL("+ce.Reason(32)+")", "-", "-", "-", "-")
+				}
+			}
+			r := sim.Fig11bFrom(v, pts[circuit.ModeBaseline].Agg, pts[circuit.ModeIRAW].Agg)
+			return t.AddRow(r.Vcc, r.FreqGain, r.PerfGain, r.IPCBase, r.IPCIRAW, report.Pct(r.StallCost))
+		})
+	if err != nil {
+		return err
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "figures: %d operating point(s) failed; rows marked FAIL\n", failed)
+	}
+	if !g.csv {
+		fmt.Println()
+	}
+	return nil
+}
+
 // fig11b renders Figure 11(b) progressively: each voltage's row prints the
 // moment both designs at that level finish simulating, so the figure
 // starts appearing long before the full (mode x voltage x trace) grid
 // completes.
 func (g *gen) fig11b() error {
-	t, err := report.NewStreamTable(os.Stdout, g.csv,
-		"Figure 11(b): IRAW frequency increase and performance gains",
-		"Vcc", "freq-gain", "perf-gain", "ipc-base", "ipc-iraw", "stall-cost")
+	if g.server != "" {
+		return g.serverFig11b()
+	}
+	t, err := g.fig11bTable()
 	if err != nil {
 		return err
 	}

@@ -7,6 +7,11 @@
 //	vccsweep -insts 60000 -seeds 2
 //	vccsweep -modes baseline,iraw,faultybits
 //	vccsweep -insts 500000 -window 50000 -progress   # sharded long traces
+//	vccsweep -server 127.0.0.1:7077                  # run on a sweepd daemon
+//
+// With -server the sweep executes on a sweepd daemon (and its workers)
+// instead of in-process; the rendered table is bit-identical to the local
+// run because cells aggregate in the same fixed order on either path.
 package main
 
 import (
@@ -14,11 +19,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 	"time"
 
 	"lowvcc/internal/circuit"
 	"lowvcc/internal/report"
+	"lowvcc/internal/service"
 	"lowvcc/internal/sim"
 )
 
@@ -37,6 +42,7 @@ func main() {
 	retries := flag.Int("retries", 0, "retry transiently-failed cells (timeouts) this many times")
 	retryBackoff := flag.Duration("retry-backoff", time.Second, "backoff before the first retry (doubles per attempt)")
 	allowPartial := flag.Bool("allow-partial", false, "keep sweeping past failed cells and render them as FAIL(reason)")
+	server := flag.String("server", "", "run the sweep on a sweepd daemon at this address instead of in-process")
 	flag.Parse()
 	wm, err := sim.ParseWarmMode(*warmMode)
 	if err != nil {
@@ -70,36 +76,70 @@ func main() {
 		})
 	}
 
+	if *server != "" {
+		spec := sim.SweepSpec{
+			InstsPerTrace:   *insts,
+			SeedsPerProfile: *seeds,
+			WindowInsts:     *window,
+			WarmInsts:       *warm,
+			WarmMode:        *warmMode,
+		}
+		if err := runServer(*server, spec, *modesFlag, *csv); err != nil {
+			fmt.Fprintln(os.Stderr, "vccsweep:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*insts, *seeds, *modesFlag, *csv); err != nil {
 		fmt.Fprintln(os.Stderr, "vccsweep:", err)
 		os.Exit(1)
 	}
 }
 
+// runServer renders the same table as run, with the simulation done by a
+// sweepd daemon: the client re-aggregates the daemon's cell events into
+// per-level points bit-identical to the local path's.
+func runServer(addr string, spec sim.SweepSpec, modesFlag string, csv bool) error {
+	modes, err := sim.ParseModes(modesFlag)
+	if err != nil {
+		return err
+	}
+	for _, m := range modes {
+		spec.Modes = append(spec.Modes, m.String())
+	}
+	cl, err := service.NewClient(addr)
+	if err != nil {
+		return err
+	}
+	t, err := newSweepTable(modes, csv)
+	if err != nil {
+		return err
+	}
+	failed := 0
+	err = cl.StreamLevels(context.Background(), spec,
+		func(v circuit.Millivolts, pts map[circuit.Mode]*sim.Point, fails map[circuit.Mode]*sim.CellError) error {
+			n, err := addSweepRow(t, modes, v, pts, fails)
+			failed += n
+			return err
+		})
+	if err != nil {
+		return err
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "vccsweep: %d operating point(s) failed; rows marked FAIL\n", failed)
+	}
+	return nil
+}
+
 func run(insts, seeds int, modesFlag string, csv bool) error {
-	var modes []circuit.Mode
-	for _, s := range strings.Split(modesFlag, ",") {
-		switch strings.TrimSpace(s) {
-		case "baseline":
-			modes = append(modes, circuit.ModeBaseline)
-		case "iraw":
-			modes = append(modes, circuit.ModeIRAW)
-		case "faultybits":
-			modes = append(modes, circuit.ModeFaultyBits)
-		case "extrabypass":
-			modes = append(modes, circuit.ModeExtraBypass)
-		default:
-			return fmt.Errorf("unknown mode %q", s)
-		}
+	modes, err := sim.ParseModes(modesFlag)
+	if err != nil {
+		return err
 	}
 	traces := sim.SuiteSpec{InstsPerTrace: insts, SeedsPerProfile: seeds}.Traces()
 	levels := circuit.Levels()
 
-	header := []string{"Vcc"}
-	for _, m := range modes {
-		header = append(header, m.String()+"-ipc", m.String()+"-time", m.String()+"-freqgain")
-	}
-	t, err := report.NewStreamTable(os.Stdout, csv, "Vcc sweep (time in phase-at-700mV units)", header...)
+	t, err := newSweepTable(modes, csv)
 	if err != nil {
 		return err
 	}
@@ -112,17 +152,9 @@ func run(insts, seeds int, modesFlag string, csv bool) error {
 	failed := 0
 	err = sim.StreamLevels(context.Background(), traces, modes, levels,
 		func(v circuit.Millivolts, pts map[circuit.Mode]*sim.Point, fails map[circuit.Mode]*sim.CellError) error {
-			row := []interface{}{v}
-			for _, m := range modes {
-				if ce := fails[m]; ce != nil {
-					failed++
-					row = append(row, "FAIL("+ce.Reason(32)+")", "-", "-")
-					continue
-				}
-				p := pts[m].Agg
-				row = append(row, p.IPC(), fmt.Sprintf("%.0f", p.Time), p.Plan.FreqGain)
-			}
-			return t.AddRow(row...)
+			n, err := addSweepRow(t, modes, v, pts, fails)
+			failed += n
+			return err
 		})
 	if err != nil {
 		return err
@@ -131,4 +163,31 @@ func run(insts, seeds int, modesFlag string, csv bool) error {
 		fmt.Fprintf(os.Stderr, "vccsweep: %d operating point(s) failed; rows marked FAIL\n", failed)
 	}
 	return nil
+}
+
+// newSweepTable builds the sweep's stream table (shared by the local and
+// -server paths).
+func newSweepTable(modes []circuit.Mode, csv bool) (*report.StreamTable, error) {
+	header := []string{"Vcc"}
+	for _, m := range modes {
+		header = append(header, m.String()+"-ipc", m.String()+"-time", m.String()+"-freqgain")
+	}
+	return report.NewStreamTable(os.Stdout, csv, "Vcc sweep (time in phase-at-700mV units)", header...)
+}
+
+// addSweepRow renders one voltage's row and returns how many of its
+// operating points failed.
+func addSweepRow(t *report.StreamTable, modes []circuit.Mode, v circuit.Millivolts, pts map[circuit.Mode]*sim.Point, fails map[circuit.Mode]*sim.CellError) (int, error) {
+	failed := 0
+	row := []interface{}{v}
+	for _, m := range modes {
+		if ce := fails[m]; ce != nil {
+			failed++
+			row = append(row, "FAIL("+ce.Reason(32)+")", "-", "-")
+			continue
+		}
+		p := pts[m].Agg
+		row = append(row, p.IPC(), fmt.Sprintf("%.0f", p.Time), p.Plan.FreqGain)
+	}
+	return failed, t.AddRow(row...)
 }

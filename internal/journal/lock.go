@@ -1,0 +1,138 @@
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+)
+
+// lockName is the exclusive-writer lock file inside a journal directory.
+const lockName = "LOCK"
+
+// Lock is an exclusive-writer claim on a journal directory, held by one
+// long-running process (the sweep daemon) so two daemons can never
+// interleave scheduling decisions over one journal. The lock protects
+// daemon mutual exclusion, not entry integrity — entries themselves stay
+// safe under concurrent writers by content addressing and atomic renames,
+// which is what lets a daemon's worker processes share the directory
+// without holding the lock.
+type Lock struct {
+	path string
+	pid  int
+}
+
+// LockHeldError reports a journal directory already locked by a live
+// process.
+type LockHeldError struct {
+	Dir string
+	Pid int
+}
+
+func (e *LockHeldError) Error() string {
+	return fmt.Sprintf("journal: %s is locked by running pid %d", e.Dir, e.Pid)
+}
+
+// AcquireLock claims the exclusive-writer lock on dir, creating the
+// directory if needed. The lock is a LOCK file recording the owner's pid
+// and hostname; liveness is checked by signaling the pid, so a lock left
+// behind by a crashed or kill -9'ed daemon is reclaimed (the returned
+// warning is non-empty when that happened — callers should surface it).
+// A lock held by a live process returns a *LockHeldError.
+func AcquireLock(dir string) (*Lock, string, error) {
+	if dir == "" {
+		return nil, "", fmt.Errorf("journal: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, "", fmt.Errorf("journal: %w", err)
+	}
+	path := filepath.Join(dir, lockName)
+	warning := ""
+	// O_EXCL create is the atomic claim; everything else is deciding
+	// whether an existing file may be swept aside. Bounded retries: each
+	// loop either claims, returns "held", or removes one stale file.
+	for attempt := 0; attempt < 8; attempt++ {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			host, _ := os.Hostname()
+			pid := os.Getpid()
+			if _, werr := fmt.Fprintf(f, "%d %s\n", pid, host); werr != nil {
+				f.Close()
+				os.Remove(path)
+				return nil, "", fmt.Errorf("journal: writing lock: %w", werr)
+			}
+			f.Sync()
+			if cerr := f.Close(); cerr != nil {
+				os.Remove(path)
+				return nil, "", fmt.Errorf("journal: writing lock: %w", cerr)
+			}
+			return &Lock{path: path, pid: pid}, warning, nil
+		}
+		if !errors.Is(err, fs.ErrExist) {
+			return nil, "", fmt.Errorf("journal: acquiring lock: %w", err)
+		}
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			// Raced with a concurrent release or reclaim; try again.
+			continue
+		}
+		pid := parseLockPid(data)
+		if pid > 0 && pidAlive(pid) {
+			return nil, "", &LockHeldError{Dir: dir, Pid: pid}
+		}
+		// Stale: the recorded pid is dead (or the file is garbage).
+		// Remove and race for the claim again.
+		warning = fmt.Sprintf("journal: reclaimed stale lock %s (held by dead pid %d)", path, pid)
+		os.Remove(path)
+	}
+	return nil, "", fmt.Errorf("journal: could not acquire %s after repeated stale-lock reclaims", path)
+}
+
+// Release drops the lock. It refuses to remove a LOCK file that no longer
+// records this process (a stale-reclaim race took ownership): losing that
+// race means some other daemon now legitimately holds the directory.
+func (l *Lock) Release() error {
+	data, err := os.ReadFile(l.path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil
+		}
+		return fmt.Errorf("journal: releasing lock: %w", err)
+	}
+	if pid := parseLockPid(data); pid != l.pid {
+		return fmt.Errorf("journal: lock %s now held by pid %d, not releasing", l.path, pid)
+	}
+	if err := os.Remove(l.path); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("journal: releasing lock: %w", err)
+	}
+	return nil
+}
+
+// Path returns the lock file's path.
+func (l *Lock) Path() string { return l.path }
+
+// parseLockPid extracts the owner pid from a LOCK file; 0 for garbage
+// (treated as stale).
+func parseLockPid(data []byte) int {
+	fields := strings.Fields(string(data))
+	if len(fields) == 0 {
+		return 0
+	}
+	pid, err := strconv.Atoi(fields[0])
+	if err != nil || pid <= 0 {
+		return 0
+	}
+	return pid
+}
+
+// pidAlive reports whether pid names a live process: signal 0 probes
+// existence without delivering anything. EPERM means alive-but-foreign,
+// which still counts as held.
+func pidAlive(pid int) bool {
+	err := syscall.Kill(pid, 0)
+	return err == nil || errors.Is(err, syscall.EPERM)
+}

@@ -1,0 +1,144 @@
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestLockExcludesSecondHolder: while a live process holds the lock, a
+// second acquire fails with the holder's pid; after Release it succeeds.
+func TestLockExcludesSecondHolder(t *testing.T) {
+	dir := t.TempDir()
+	l, warn, err := AcquireLock(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warn != "" {
+		t.Errorf("fresh acquire produced warning %q", warn)
+	}
+	_, _, err = AcquireLock(dir)
+	var held *LockHeldError
+	if !errors.As(err, &held) {
+		t.Fatalf("second acquire err = %v, want *LockHeldError", err)
+	}
+	if held.Pid != os.Getpid() {
+		t.Errorf("LockHeldError.Pid = %d, want %d", held.Pid, os.Getpid())
+	}
+	if err := l.Release(); err != nil {
+		t.Fatal(err)
+	}
+	l2, _, err := AcquireLock(dir)
+	if err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	if err := l2.Release(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLockStaleReclaim: a LOCK file recording a dead pid — what a crashed
+// or kill -9'ed daemon leaves behind — is reclaimed with a warning, as is
+// a garbage LOCK file.
+func TestLockStaleReclaim(t *testing.T) {
+	for name, content := range map[string]string{
+		// Far above any real pid_max, so never a live process.
+		"dead-pid": "999999999 somehost\n",
+		"garbage":  "not a lock file",
+		"empty":    "",
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			if err := os.WriteFile(filepath.Join(dir, lockName), []byte(content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			l, warn, err := AcquireLock(dir)
+			if err != nil {
+				t.Fatalf("stale lock was not reclaimed: %v", err)
+			}
+			if warn == "" {
+				t.Error("stale reclaim produced no warning")
+			}
+			if err := l.Release(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestReleaseRefusesForeignLock: losing a reclaim race must not remove the
+// winner's lock.
+func TestReleaseRefusesForeignLock(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := AcquireLock(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Another daemon reclaimed and re-claimed the file behind our back.
+	if err := os.WriteFile(l.Path(), []byte(fmt.Sprintf("%d other\n", os.Getpid()+1)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Release(); err == nil {
+		t.Fatal("Release removed a lock now owned by another pid")
+	}
+	if _, err := os.Stat(l.Path()); err != nil {
+		t.Fatalf("foreign lock file was removed: %v", err)
+	}
+}
+
+// TestVerify: a consistent journal verifies clean and counts entries; the
+// LOCK file is not an entry; a torn write fails verification with the
+// offending key in the error.
+func TestVerify(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sampleResult(t)
+	for i := 0; i < 3; i++ {
+		if err := j.Put(&Entry{Key: Key(fmt.Sprintf("k%d", i)), Windows: 1, Result: res}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l, _, err := AcquireLock(dir); err != nil {
+		t.Fatal(err)
+	} else {
+		defer l.Release()
+	}
+	n, err := j.Verify()
+	if err != nil || n != 3 {
+		t.Fatalf("Verify = (%d, %v), want (3, nil)", n, err)
+	}
+
+	bad := &Entry{Key: Key("torn"), Windows: 1, Result: res}
+	if err := j.PutTruncated(bad, -1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Verify(); err == nil || !strings.Contains(err.Error(), Key("torn")) {
+		t.Fatalf("Verify err = %v, want a failure naming the torn key", err)
+	}
+}
+
+// TestSyncPutRoundTrip: fsync-on-Put preserves the exact Get contract (it
+// only changes durability, never content).
+func TestSyncPutRoundTrip(t *testing.T) {
+	j, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.SetSync(true)
+	res := sampleResult(t)
+	key := Key("synced")
+	if err := j.Put(&Entry{Key: key, Windows: 2, Result: res}); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := j.Get(key)
+	if !ok || got.Windows != 2 || !reflect.DeepEqual(got.Result, res) {
+		t.Fatalf("synced Put round-trip failed (hit=%v)", ok)
+	}
+}

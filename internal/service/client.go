@@ -1,0 +1,359 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"lowvcc/internal/circuit"
+	"lowvcc/internal/core"
+	"lowvcc/internal/sim"
+)
+
+// Client talks to a sweep daemon. Safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient targets a daemon at baseURL (e.g. "http://127.0.0.1:7077").
+func NewClient(baseURL string) (*Client, error) {
+	base, err := normalizeBase(baseURL)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{base: base, hc: &http.Client{}}, nil
+}
+
+func normalizeBase(baseURL string) (string, error) {
+	if !strings.Contains(baseURL, "://") {
+		baseURL = "http://" + baseURL
+	}
+	u, err := url.Parse(baseURL)
+	if err != nil || u.Host == "" {
+		return "", fmt.Errorf("service: bad daemon address %q", baseURL)
+	}
+	return strings.TrimRight(u.String(), "/"), nil
+}
+
+// Submit sends the spec and returns the daemon's sweep ID. Backpressure
+// (HTTP 429) surfaces as *BusyError with the server's Retry-After; a
+// draining daemon (503) as ErrDraining.
+func (c *Client) Submit(ctx context.Context, spec sim.SweepSpec) (string, error) {
+	data, err := json.Marshal(spec)
+	if err != nil {
+		return "", err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/api/v1/sweeps", bytes.NewReader(data))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusCreated:
+		var out struct {
+			ID string `json:"id"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			return "", fmt.Errorf("service: decoding submit response: %w", err)
+		}
+		return out.ID, nil
+	case http.StatusTooManyRequests:
+		retry := 2 * time.Second
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			if secs, err := strconv.Atoi(s); err == nil {
+				retry = time.Duration(secs) * time.Second
+			}
+		}
+		return "", &BusyError{RetryAfter: retry}
+	case http.StatusServiceUnavailable:
+		return "", ErrDraining
+	default:
+		return "", fmt.Errorf("service: submit: %s: %s", resp.Status, readErrBody(resp.Body))
+	}
+}
+
+// Status fetches one sweep's summary.
+func (c *Client) Status(ctx context.Context, id string) (SweepStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/api/v1/sweeps/"+url.PathEscape(id), nil)
+	if err != nil {
+		return SweepStatus{}, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return SweepStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return SweepStatus{}, fmt.Errorf("service: status: %s: %s", resp.Status, readErrBody(resp.Body))
+	}
+	var st SweepStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return SweepStatus{}, err
+	}
+	return st, nil
+}
+
+// Events follows the sweep's progress stream, invoking fn per event, and
+// returns the terminal event. An fn error aborts the stream and is
+// returned.
+func (c *Client) Events(ctx context.Context, id string, fn func(CellEvent) error) (CellEvent, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/api/v1/sweeps/"+url.PathEscape(id)+"/events", nil)
+	if err != nil {
+		return CellEvent{}, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return CellEvent{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return CellEvent{}, fmt.Errorf("service: events: %s: %s", resp.Status, readErrBody(resp.Body))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev CellEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return CellEvent{}, fmt.Errorf("service: bad event line: %w", err)
+		}
+		if fn != nil {
+			if err := fn(ev); err != nil {
+				return CellEvent{}, err
+			}
+		}
+		if ev.Terminal {
+			return ev, nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return CellEvent{}, err
+	}
+	return CellEvent{}, fmt.Errorf("service: event stream for %s ended without a terminal event", id)
+}
+
+// StreamLevels runs the spec on the daemon and replays the progress as the
+// local sim.Runner.StreamLevels contract: onLevel fires once per voltage in
+// spec order, as soon as every requested mode at that level has aggregated,
+// with failed operating points in the fails map. Per-trace cell results
+// merge in trace order via core.MergeResults — the emitted aggregates are
+// bit-identical to a local sweep of the same spec, which is what lets
+// `vccsweep -server` render the exact same table a local run prints.
+func (c *Client) StreamLevels(ctx context.Context, spec sim.SweepSpec, onLevel func(circuit.Millivolts, map[circuit.Mode]*sim.Point, map[circuit.Mode]*sim.CellError) error) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	modes, err := spec.CircuitModes()
+	if err != nil {
+		return err
+	}
+	levels := spec.Levels()
+
+	id, err := c.Submit(ctx, spec)
+	if err != nil {
+		return err
+	}
+
+	// One slot per operating point, accumulating per-trace results by
+	// index so merge order never depends on event arrival order.
+	type slot struct {
+		results []*core.Result
+		got     int
+		fail    *sim.CellError
+	}
+	grid := make(map[circuit.Mode]map[circuit.Millivolts]*slot, len(modes))
+	for _, m := range modes {
+		grid[m] = make(map[circuit.Millivolts]*slot, len(levels))
+	}
+	var tracesPerPoint int
+
+	modeOf := make(map[string]circuit.Mode, len(modes))
+	for i, name := range spec.Modes {
+		modeOf[name] = modes[i]
+	}
+
+	next := 0
+	emitReady := func() error {
+		for next < len(levels) {
+			v := levels[next]
+			row := make(map[circuit.Mode]*sim.Point, len(modes))
+			fails := make(map[circuit.Mode]*sim.CellError)
+			for _, m := range modes {
+				s := grid[m][v]
+				if s == nil || (s.fail == nil && s.got < tracesPerPoint) {
+					return nil // level still incomplete (or gated by order)
+				}
+				if s.fail != nil {
+					fails[m] = s.fail
+				} else {
+					row[m] = &sim.Point{Vcc: v, Mode: m, Agg: core.MergeResults(s.results)}
+				}
+			}
+			if err := onLevel(v, row, fails); err != nil {
+				return err
+			}
+			next++
+		}
+		return nil
+	}
+
+	term, err := c.Events(ctx, id, func(ev CellEvent) error {
+		if ev.Terminal {
+			return nil
+		}
+		if tracesPerPoint == 0 && ev.Total > 0 {
+			tracesPerPoint = ev.Total / (len(modes) * len(levels))
+		}
+		m, ok := modeOf[ev.Mode]
+		if !ok {
+			return fmt.Errorf("service: event for unknown mode %q", ev.Mode)
+		}
+		v := circuit.Millivolts(ev.VccMV)
+		s := grid[m][v]
+		if s == nil {
+			s = &slot{results: make([]*core.Result, tracesPerPoint)}
+			grid[m][v] = s
+		}
+		switch {
+		case ev.Err != "":
+			if s.fail == nil {
+				s.fail = &sim.CellError{Point: -1, Trace: ev.TraceIdx, TraceName: ev.TraceName, Label: ev.Label, Err: fmt.Errorf("%s", ev.Err)}
+			}
+		case ev.TraceIdx < 0 || ev.TraceIdx >= len(s.results):
+			return fmt.Errorf("service: event trace index %d out of range", ev.TraceIdx)
+		case s.results[ev.TraceIdx] == nil:
+			s.results[ev.TraceIdx] = ev.Result
+			s.got++
+		}
+		return emitReady()
+	})
+	if err != nil {
+		return err
+	}
+	switch term.State {
+	case "done", "failed":
+		// Failed points rendered through the fails map; make sure every
+		// level was emitted (a failed cell may have unblocked later levels
+		// only now).
+		if err := emitReady(); err != nil {
+			return err
+		}
+		if next < len(levels) {
+			return fmt.Errorf("service: sweep %s ended %q with %d/%d levels aggregated", id, term.State, next, len(levels))
+		}
+		return nil
+	default:
+		return fmt.Errorf("service: sweep %s ended %q (daemon drained mid-sweep; resubmit to resume from the journal)", id, term.State)
+	}
+}
+
+func readErrBody(r io.Reader) string {
+	b, _ := io.ReadAll(io.LimitReader(r, 512))
+	return strings.TrimSpace(string(b))
+}
+
+// httpSource speaks the daemon's lease endpoints — the external worker's
+// CellSource.
+type httpSource struct {
+	base string
+	hc   *http.Client
+}
+
+func newHTTPSource(baseURL string) (*httpSource, error) {
+	base, err := normalizeBase(baseURL)
+	if err != nil {
+		return nil, err
+	}
+	return &httpSource{base: base, hc: &http.Client{Timeout: 10 * time.Second}}, nil
+}
+
+func (h *httpSource) Acquire(ctx context.Context, worker string) (*Lease, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		h.base+"/api/v1/lease?worker="+url.QueryEscape(worker), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := h.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNoContent:
+		return nil, nil
+	case http.StatusOK:
+		var l Lease
+		if err := json.NewDecoder(resp.Body).Decode(&l); err != nil {
+			return nil, err
+		}
+		return &l, nil
+	default:
+		return nil, fmt.Errorf("service: acquire: %s: %s", resp.Status, readErrBody(resp.Body))
+	}
+}
+
+func (h *httpSource) Heartbeat(ctx context.Context, leaseID string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		h.base+"/api/v1/lease/"+url.PathEscape(leaseID)+"/heartbeat", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := h.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	switch resp.StatusCode {
+	case http.StatusNoContent:
+		return nil
+	case http.StatusGone:
+		return ErrLeaseLost
+	default:
+		return fmt.Errorf("service: heartbeat: %s", resp.Status)
+	}
+}
+
+func (h *httpSource) Complete(ctx context.Context, leaseID, worker, errMsg string) error {
+	body, err := json.Marshal(map[string]string{"worker": worker, "err": errMsg})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		h.base+"/api/v1/lease/"+url.PathEscape(leaseID)+"/done", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := h.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	switch resp.StatusCode {
+	case http.StatusNoContent:
+		return nil
+	case http.StatusGone:
+		return ErrLeaseLost
+	default:
+		return fmt.Errorf("service: complete: %s", resp.Status)
+	}
+}

@@ -1,0 +1,679 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"lowvcc/internal/core"
+	"lowvcc/internal/journal"
+	"lowvcc/internal/sim"
+)
+
+// SchedulerOpts configures a Scheduler. The zero value is usable: defaults
+// fill in at New.
+type SchedulerOpts struct {
+	// JournalDir roots the shared result journal (required). The scheduler
+	// claims the directory's exclusive-writer LOCK for the daemon's
+	// lifetime.
+	JournalDir string
+
+	// LeaseTTL bounds how long a worker may hold a cell without
+	// heartbeating before the cell is reclaimed (default 30s). It is the
+	// worst-case latency a crashed worker adds to its cells.
+	LeaseTTL time.Duration
+
+	// MaxQueuedCells bounds pending+leased cells across all sweeps
+	// (default 4096). Submissions that would exceed it fail with
+	// BusyError — backpressure instead of unbounded memory.
+	MaxQueuedCells int
+
+	// MaxAttempts bounds executions per cell, counting lease reclamations
+	// (default 5). A cell that exhausts it is declared failed so a poison
+	// cell cannot wedge the sweep.
+	MaxAttempts int
+
+	// SweepDeadline, when positive, bounds each sweep's wall clock; the
+	// janitor fails overdue sweeps' remaining cells. 0 = no deadline.
+	SweepDeadline time.Duration
+
+	// JournalSync selects fsync-on-Put for the daemon's journal handle and
+	// for workers (propagated through leases).
+	JournalSync bool
+}
+
+func (o SchedulerOpts) withDefaults() SchedulerOpts {
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = 30 * time.Second
+	}
+	if o.MaxQueuedCells <= 0 {
+		o.MaxQueuedCells = 4096
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 5
+	}
+	return o
+}
+
+// cell lifecycle within a sweepJob.
+const (
+	cellPending = iota
+	cellLeased
+	cellDone
+	cellFailed
+)
+
+type sweepJob struct {
+	id       string
+	spec     sim.SweepSpec
+	cells    []Cell
+	state    []int
+	attempts []int
+	started  time.Time
+
+	done, failed, replayed int
+	terminalState          string // "" while running
+
+	events  []CellEvent
+	subs    map[int]chan CellEvent
+	nextSub int
+}
+
+func (job *sweepJob) total() int     { return len(job.cells) }
+func (job *sweepJob) finished() bool { return job.done+job.failed == job.total() }
+
+type leaseState struct {
+	id     string
+	sweep  string
+	index  int
+	worker string
+	expiry time.Time
+}
+
+// Scheduler owns the sweep queue and the lease table. It is safe for
+// concurrent use; all methods may be called from HTTP handlers and worker
+// goroutines simultaneously. The scheduler itself never simulates — it
+// only hands out leases and reads completed results back from the journal.
+type Scheduler struct {
+	opts SchedulerOpts
+	jnl  *journal.Journal
+	lock *journal.Lock
+	now  func() time.Time // test hook
+
+	mu         sync.Mutex
+	idle       *sync.Cond // broadcast when leases/completing drain or state changes
+	sweeps     map[string]*sweepJob
+	order      []string // submission order; scheduling scans it FIFO
+	leases     map[string]*leaseState
+	completing int // Completes between lease removal and result recording
+	queued     int // pending + leased cells across all sweeps
+	draining   bool
+	closed     bool
+	seq        int
+
+	janitorStop chan struct{}
+	janitorDone chan struct{}
+}
+
+// NewScheduler claims the journal directory's exclusive-writer lock and
+// starts the lease janitor. The returned warning is non-empty when a stale
+// lock from a dead daemon was reclaimed; surface it to the operator.
+func NewScheduler(opts SchedulerOpts) (*Scheduler, string, error) {
+	opts = opts.withDefaults()
+	if opts.JournalDir == "" {
+		return nil, "", fmt.Errorf("service: scheduler requires a journal directory")
+	}
+	lock, warn, err := journal.AcquireLock(opts.JournalDir)
+	if err != nil {
+		return nil, "", err
+	}
+	jnl, err := journal.Open(opts.JournalDir)
+	if err != nil {
+		lock.Release()
+		return nil, warn, err
+	}
+	jnl.SetSync(opts.JournalSync)
+	s := &Scheduler{
+		opts:        opts,
+		jnl:         jnl,
+		lock:        lock,
+		now:         time.Now,
+		sweeps:      make(map[string]*sweepJob),
+		leases:      make(map[string]*leaseState),
+		janitorStop: make(chan struct{}),
+		janitorDone: make(chan struct{}),
+	}
+	s.idle = sync.NewCond(&s.mu)
+	go s.janitor()
+	return s, warn, nil
+}
+
+// Journal exposes the scheduler's journal handle (status endpoints, drain
+// verification).
+func (s *Scheduler) Journal() *journal.Journal { return s.jnl }
+
+// expandSpec builds the sweep's cell grid in the canonical (mode, level,
+// trace) order and computes every cell's journal key. Pure function of the
+// spec — called outside the scheduler lock (trace materialization and
+// config hashing are the expensive parts).
+func expandSpec(id string, spec sim.SweepSpec) ([]Cell, error) {
+	modes, err := spec.CircuitModes()
+	if err != nil {
+		return nil, err
+	}
+	traces := spec.Traces()
+	runner := spec.NewRunner()
+	var cells []Cell
+	for mi, mode := range modes {
+		for _, v := range spec.Levels() {
+			cfg := core.DefaultConfig(v, mode)
+			label := sim.SweepLabel(v, mode)
+			for ti, tr := range traces {
+				key, err := runner.CellKey(cfg, tr)
+				if err != nil {
+					return nil, fmt.Errorf("service: keying %s %s: %w", label, tr.Name, err)
+				}
+				cells = append(cells, Cell{
+					Sweep:     id,
+					Index:     len(cells),
+					Label:     label,
+					Mode:      spec.Modes[mi],
+					VccMV:     int(v),
+					TraceIdx:  ti,
+					TraceName: tr.Name,
+					Key:       key,
+					Spec:      spec,
+				})
+			}
+		}
+	}
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("service: spec expands to zero cells")
+	}
+	return cells, nil
+}
+
+// Submit validates and enqueues a sweep, returning its ID. Cells whose
+// results are already journaled complete instantly as replays — a
+// restarted campaign only pays for the missing cells. Fails fast with
+// BusyError when the queue cannot absorb the new cells and ErrDraining
+// during shutdown.
+func (s *Scheduler) Submit(spec sim.SweepSpec) (string, error) {
+	if err := spec.Validate(); err != nil {
+		return "", err
+	}
+
+	// Cheap pre-check so a doomed submission skips the expensive expansion.
+	s.mu.Lock()
+	if s.draining || s.closed {
+		s.mu.Unlock()
+		return "", ErrDraining
+	}
+	s.seq++
+	id := fmt.Sprintf("sweep-%d", s.seq)
+	s.mu.Unlock()
+
+	cells, err := expandSpec(id, spec)
+	if err != nil {
+		return "", err
+	}
+
+	// Replay scan outside the lock: journal reads are file IO. Entries
+	// found here are trusted — Get already ran the integrity check — and
+	// their cells complete at registration without ever being queued.
+	type replay struct {
+		index int
+		res   *core.Result
+	}
+	var replays []replay
+	for _, c := range cells {
+		if ent, ok := s.jnl.Get(c.Key); ok {
+			replays = append(replays, replay{c.Index, ent.Result})
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining || s.closed {
+		return "", ErrDraining
+	}
+	fresh := len(cells) - len(replays)
+	if s.queued+fresh > s.opts.MaxQueuedCells {
+		return "", &BusyError{
+			RetryAfter: s.retryAfterLocked(),
+			Queued:     s.queued,
+			Limit:      s.opts.MaxQueuedCells,
+		}
+	}
+
+	job := &sweepJob{
+		id:       id,
+		spec:     spec,
+		cells:    cells,
+		state:    make([]int, len(cells)),
+		attempts: make([]int, len(cells)),
+		started:  s.now(),
+		subs:     make(map[int]chan CellEvent),
+	}
+	s.sweeps[id] = job
+	s.order = append(s.order, id)
+	s.queued += fresh
+
+	for _, r := range replays {
+		job.state[r.index] = cellDone
+		job.done++
+		job.replayed++
+		s.emitLocked(job, s.cellEvent(job, r.index, r.res, true, "journal", ""))
+	}
+	s.maybeFinishLocked(job)
+	return id, nil
+}
+
+// retryAfterLocked estimates when queue space should free up: roughly one
+// lease TTL — by then either progress was made or reclamation kicked in.
+func (s *Scheduler) retryAfterLocked() time.Duration {
+	d := s.opts.LeaseTTL
+	if d > 10*time.Second {
+		d = 10 * time.Second
+	}
+	if d < time.Second {
+		d = time.Second
+	}
+	return d
+}
+
+// Acquire leases the next pending cell to worker, FIFO across sweeps and
+// index-ordered within one. Returns (nil, nil) when no work is available
+// (idle or draining) — polling workers sleep and retry.
+func (s *Scheduler) Acquire(worker string) (*Lease, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining || s.closed {
+		return nil, nil
+	}
+	for _, id := range s.order {
+		job := s.sweeps[id]
+		if job.terminalState != "" {
+			continue
+		}
+		for i, st := range job.state {
+			if st != cellPending {
+				continue
+			}
+			job.state[i] = cellLeased
+			s.seq++
+			ls := &leaseState{
+				id:     fmt.Sprintf("lease-%d", s.seq),
+				sweep:  id,
+				index:  i,
+				worker: worker,
+				expiry: s.now().Add(s.opts.LeaseTTL),
+			}
+			s.leases[ls.id] = ls
+			return &Lease{
+				ID:          ls.id,
+				Cell:        job.cells[i],
+				JournalDir:  s.opts.JournalDir,
+				JournalSync: s.opts.JournalSync,
+				TTLMS:       s.opts.LeaseTTL.Milliseconds(),
+			}, nil
+		}
+	}
+	return nil, nil
+}
+
+// Heartbeat extends a live lease by one TTL. ErrLeaseLost means the lease
+// expired and was reclaimed: the worker must abandon the cell.
+func (s *Scheduler) Heartbeat(leaseID string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ls, ok := s.leases[leaseID]
+	if !ok {
+		return ErrLeaseLost
+	}
+	ls.expiry = s.now().Add(s.opts.LeaseTTL)
+	return nil
+}
+
+// Complete records a cell's outcome. On success the result is read back
+// from the shared journal (through the integrity check) — results never
+// travel in the request. A completion from a lease that was already
+// reclaimed returns ErrLeaseLost and changes nothing: only the current
+// leaseholder counts, so reclamation can never double-count a cell.
+func (s *Scheduler) Complete(leaseID, worker, errMsg string) error {
+	s.mu.Lock()
+	ls, ok := s.leases[leaseID]
+	if !ok {
+		s.mu.Unlock()
+		return ErrLeaseLost
+	}
+	delete(s.leases, leaseID)
+	job := s.sweeps[ls.sweep]
+	cell := job.cells[ls.index]
+	// completing keeps Drain honest while the journal read below runs
+	// outside the lock: the lease is gone but the cell isn't recorded yet.
+	s.completing++
+	s.mu.Unlock()
+
+	var res *core.Result
+	readErr := ""
+	if errMsg == "" {
+		if ent, ok := s.jnl.Get(cell.Key); ok {
+			res = ent.Result
+		} else {
+			readErr = fmt.Sprintf("worker %s reported success but journal has no entry %s", worker, cell.Key)
+		}
+	}
+
+	s.mu.Lock()
+	defer func() {
+		s.completing--
+		s.idle.Broadcast()
+		s.mu.Unlock()
+	}()
+	if job.terminalState != "" {
+		// The sweep ended while we were off-lock (deadline, drain). The
+		// journaled result remains valid for future replays; nothing to
+		// record.
+		return nil
+	}
+	switch {
+	case errMsg != "":
+		s.failAttemptLocked(job, ls.index, fmt.Sprintf("worker %s: %s", worker, errMsg))
+	case readErr != "":
+		s.failAttemptLocked(job, ls.index, readErr)
+	default:
+		job.state[ls.index] = cellDone
+		job.done++
+		s.queued--
+		s.emitLocked(job, s.cellEvent(job, ls.index, res, false, worker, ""))
+		s.maybeFinishLocked(job)
+	}
+	return nil
+}
+
+// failAttemptLocked charges one failed attempt to a cell: requeue while
+// attempts remain, otherwise declare the cell failed and emit the failure.
+func (s *Scheduler) failAttemptLocked(job *sweepJob, index int, reason string) {
+	job.attempts[index]++
+	if job.attempts[index] >= s.opts.MaxAttempts {
+		job.state[index] = cellFailed
+		job.failed++
+		s.queued--
+		s.emitLocked(job, s.cellEvent(job, index, nil, false, "",
+			fmt.Sprintf("%s (attempt %d/%d, giving up)", reason, job.attempts[index], s.opts.MaxAttempts)))
+		s.maybeFinishLocked(job)
+		return
+	}
+	job.state[index] = cellPending
+}
+
+// cellEvent builds the progress record for one recorded cell outcome.
+func (s *Scheduler) cellEvent(job *sweepJob, index int, res *core.Result, replayed bool, worker, errMsg string) CellEvent {
+	c := job.cells[index]
+	return CellEvent{
+		Sweep:     job.id,
+		Index:     index,
+		Label:     c.Label,
+		Mode:      c.Mode,
+		VccMV:     c.VccMV,
+		TraceIdx:  c.TraceIdx,
+		TraceName: c.TraceName,
+		Replayed:  replayed,
+		Worker:    worker,
+		Result:    res,
+		Err:       errMsg,
+		Done:      job.done,
+		Failed:    job.failed,
+		Total:     job.total(),
+	}
+}
+
+// maybeFinishLocked emits the terminal event and closes subscriptions once
+// every cell is recorded.
+func (s *Scheduler) maybeFinishLocked(job *sweepJob) {
+	if job.terminalState != "" || !job.finished() {
+		return
+	}
+	state := "done"
+	if job.failed > 0 {
+		state = "failed"
+	}
+	s.terminateLocked(job, state)
+}
+
+// terminateLocked moves the sweep to a terminal state: cells still pending
+// or leased are abandoned (their queue slots released), the terminal event
+// is emitted, and every subscriber channel closes.
+func (s *Scheduler) terminateLocked(job *sweepJob, state string) {
+	for i, st := range job.state {
+		if st == cellPending || st == cellLeased {
+			job.state[i] = cellFailed
+			s.queued--
+		}
+	}
+	job.terminalState = state
+	s.emitLocked(job, CellEvent{
+		Sweep:    job.id,
+		Index:    -1,
+		Done:     job.done,
+		Failed:   job.total() - job.done,
+		Total:    job.total(),
+		Terminal: true,
+		State:    state,
+	})
+	for id, ch := range job.subs {
+		close(ch)
+		delete(job.subs, id)
+	}
+	s.idle.Broadcast()
+}
+
+// emitLocked appends the event to the sweep's history and fans it out
+// without ever blocking: a subscriber whose channel is full is
+// disconnected (channel closed) instead of stalling the scheduler — the
+// streaming handler detects the close and resubscribes from history.
+func (s *Scheduler) emitLocked(job *sweepJob, ev CellEvent) {
+	job.events = append(job.events, ev)
+	for id, ch := range job.subs {
+		select {
+		case ch <- ev:
+		default:
+			close(ch)
+			delete(job.subs, id)
+		}
+	}
+}
+
+// Subscribe returns the sweep's event history so far plus a live channel
+// for what follows. The channel closes at the terminal event or when the
+// subscriber falls behind (subscriberBuf undelivered events); after a lag
+// close, resubscribe and resume from the returned history. cancel is
+// idempotent and must be called to release the subscription.
+func (s *Scheduler) Subscribe(sweepID string) ([]CellEvent, <-chan CellEvent, func(), error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.sweeps[sweepID]
+	if !ok {
+		return nil, nil, nil, ErrUnknownSweep
+	}
+	history := append([]CellEvent(nil), job.events...)
+	ch := make(chan CellEvent, subscriberBuf)
+	if job.terminalState != "" {
+		// Already over: the full story is in history.
+		close(ch)
+		return history, ch, func() {}, nil
+	}
+	id := job.nextSub
+	job.nextSub++
+	job.subs[id] = ch
+	cancel := func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if c, ok := job.subs[id]; ok {
+			close(c)
+			delete(job.subs, id)
+		}
+	}
+	return history, ch, cancel, nil
+}
+
+// subscriberBuf is each subscription channel's buffer: enough to ride out
+// a slow flush, small enough that an abandoned connection is detected
+// quickly.
+const subscriberBuf = 256
+
+// Status summarizes one sweep.
+func (s *Scheduler) Status(sweepID string) (SweepStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.sweeps[sweepID]
+	if !ok {
+		return SweepStatus{}, ErrUnknownSweep
+	}
+	state := job.terminalState
+	if state == "" {
+		state = "running"
+	}
+	return SweepStatus{
+		ID:       job.id,
+		State:    state,
+		Done:     job.done,
+		Failed:   job.failed,
+		Replayed: job.replayed,
+		Total:    job.total(),
+	}, nil
+}
+
+// Queued reports pending+leased cells (readiness endpoints, tests).
+func (s *Scheduler) Queued() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queued
+}
+
+// Draining reports whether a drain is in progress or finished.
+func (s *Scheduler) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// janitor reclaims expired leases and enforces sweep deadlines. It runs at
+// a quarter of the lease TTL so a dead worker's cells requeue at most
+// 1.25 TTL after its last heartbeat.
+func (s *Scheduler) janitor() {
+	defer close(s.janitorDone)
+	interval := s.opts.LeaseTTL / 4
+	if interval < 5*time.Millisecond {
+		interval = 5 * time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.janitorStop:
+			return
+		case <-tick.C:
+			s.sweepExpired()
+		}
+	}
+}
+
+// sweepExpired performs one janitor pass.
+func (s *Scheduler) sweepExpired() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+
+	// Deterministic reclamation order for the log and tests.
+	var expired []string
+	for id, ls := range s.leases {
+		if now.After(ls.expiry) {
+			expired = append(expired, id)
+		}
+	}
+	sort.Strings(expired)
+	for _, id := range expired {
+		ls := s.leases[id]
+		delete(s.leases, id)
+		job := s.sweeps[ls.sweep]
+		if job.terminalState != "" {
+			continue
+		}
+		s.failAttemptLocked(job, ls.index,
+			fmt.Sprintf("lease %s expired (worker %s stopped heartbeating)", ls.id, ls.worker))
+	}
+	if len(expired) > 0 {
+		s.idle.Broadcast()
+	}
+
+	if s.opts.SweepDeadline > 0 {
+		for _, id := range s.order {
+			job := s.sweeps[id]
+			if job.terminalState == "" && now.Sub(job.started) > s.opts.SweepDeadline {
+				s.terminateLocked(job, "failed")
+			}
+		}
+	}
+}
+
+// Drain gracefully winds the scheduler down: new submissions and lease
+// acquisitions stop immediately, in-flight leases run to completion (or
+// expiry), and sweeps still unfinished afterwards end "interrupted" — their
+// journaled cells replay on resubmission to the next daemon. Returns
+// ctx.Err() if the context expires first (in-flight leases are then
+// abandoned where they stand; the journal stays consistent regardless).
+func (s *Scheduler) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+
+	// Wake the waiter when the context dies: cond waits can't select.
+	watchdog := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			s.idle.Broadcast()
+		case <-watchdog:
+		}
+	}()
+	defer close(watchdog)
+
+	s.mu.Lock()
+	for (len(s.leases) > 0 || s.completing > 0) && ctx.Err() == nil {
+		s.idle.Wait()
+	}
+	err := ctx.Err()
+	for _, id := range s.order {
+		if job := s.sweeps[id]; job.terminalState == "" {
+			s.terminateLocked(job, "interrupted")
+		}
+	}
+	s.mu.Unlock()
+	return err
+}
+
+// Close stops the janitor, ends any still-running sweeps as interrupted,
+// and releases the journal lock. Idempotent.
+func (s *Scheduler) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.draining = true
+	for _, id := range s.order {
+		if job := s.sweeps[id]; job.terminalState == "" {
+			s.terminateLocked(job, "interrupted")
+		}
+	}
+	s.mu.Unlock()
+
+	close(s.janitorStop)
+	<-s.janitorDone
+	return s.lock.Release()
+}

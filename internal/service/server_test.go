@@ -1,0 +1,227 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"lowvcc/internal/circuit"
+	"lowvcc/internal/sim"
+)
+
+// newTestDaemon stands up a full HTTP daemon over httptest and returns it
+// with its base URL. Workers < 0 means external-workers-only.
+func newTestDaemon(t *testing.T, opts ServerOpts) (*Server, string) {
+	t.Helper()
+	if opts.JournalDir == "" {
+		opts.JournalDir = t.TempDir()
+	}
+	if opts.LeaseTTL == 0 {
+		opts.LeaseTTL = time.Second
+	}
+	srv, warn, err := NewServer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warn != "" {
+		t.Fatalf("fresh daemon warned: %s", warn)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Scheduler().Close()
+	})
+	return srv, ts.URL
+}
+
+// TestHTTPEndToEndExternalWorker: the full wire path — client submits over
+// HTTP, an external worker (in-process here, but speaking only HTTP +
+// shared journal dir) executes every cell, the client streams ndjson
+// events to the terminal, and the journal matches a local run.
+func TestHTTPEndToEndExternalWorker(t *testing.T) {
+	spec := testSpec()
+	ref := localReferenceJournal(t, spec)
+	dir := t.TempDir()
+	srv, base := newTestDaemon(t, ServerOpts{
+		SchedulerOpts: SchedulerOpts{JournalDir: dir},
+		Workers:       -1,
+	})
+
+	wctx, wcancel := context.WithCancel(context.Background())
+	defer wcancel()
+	workerDone := make(chan error, 1)
+	go func() {
+		workerDone <- Work(wctx, base, WorkerOpts{Name: "ext-1", Poll: 10 * time.Millisecond})
+	}()
+
+	cl, err := NewClient(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	id, err := cl.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if st, err := cl.Status(ctx, id); err != nil || st.Total != cellCount(spec) {
+		t.Fatalf("status = (%+v, %v), want %d total cells", st, err, cellCount(spec))
+	}
+
+	seen := make(map[int]int)
+	term, err := cl.Events(ctx, id, func(ev CellEvent) error {
+		if !ev.Terminal && ev.Err == "" {
+			seen[ev.Index]++
+			if ev.Worker != "ext-1" {
+				t.Errorf("cell %d completed by %q, want ext-1", ev.Index, ev.Worker)
+			}
+			if ev.Result == nil {
+				t.Errorf("cell %d event carries no result", ev.Index)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if term.State != "done" {
+		t.Fatalf("sweep ended %q, want done", term.State)
+	}
+	for idx, n := range seen {
+		if n != 1 {
+			t.Fatalf("cell %d completed %d times over HTTP", idx, n)
+		}
+	}
+	if len(seen) != cellCount(spec) {
+		t.Fatalf("saw %d cells, want %d", len(seen), cellCount(spec))
+	}
+	assertJournalsEqual(t, ref, dir, "http external worker")
+
+	// Health endpoints: live and ready while serving...
+	for _, ep := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(base + ep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s = %d, want 200", ep, resp.StatusCode)
+		}
+	}
+
+	// ...and after a drain, live but not ready, refusing submissions.
+	wcancel()
+	<-workerDone
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz after drain = %d, want 503", resp.StatusCode)
+	}
+	if _, err := cl.Submit(ctx, spec); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit after drain = %v, want ErrDraining", err)
+	}
+}
+
+// TestHTTPBackpressure429: an over-capacity submission comes back over the
+// wire as *BusyError with the server's Retry-After.
+func TestHTTPBackpressure429(t *testing.T) {
+	spec := testSpec()
+	_, base := newTestDaemon(t, ServerOpts{
+		SchedulerOpts: SchedulerOpts{MaxQueuedCells: cellCount(spec)},
+		Workers:       -1,
+	})
+	cl, err := NewClient(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := cl.Submit(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	_, err = cl.Submit(ctx, singlePointSpec())
+	var busy *BusyError
+	if !errors.As(err, &busy) {
+		t.Fatalf("over-capacity submit = %v, want *BusyError", err)
+	}
+	if busy.RetryAfter <= 0 {
+		t.Fatalf("Retry-After = %v, want positive", busy.RetryAfter)
+	}
+}
+
+// TestClientStreamLevels: the client's re-aggregation of daemon cell
+// events emits the same levels, in the same order, with the same merged
+// stats, as the local sim.StreamLevels path.
+func TestClientStreamLevels(t *testing.T) {
+	spec := testSpec()
+	modes, err := spec.CircuitModes()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type row struct {
+		v   circuit.Millivolts
+		pts map[circuit.Mode]*sim.Point
+	}
+	var local []row
+	sim.SetWorkers(2)
+	defer sim.SetWorkers(0)
+	err = sim.StreamLevels(context.Background(), spec.Traces(), modes, spec.Levels(),
+		func(v circuit.Millivolts, pts map[circuit.Mode]*sim.Point, fails map[circuit.Mode]*sim.CellError) error {
+			if len(fails) != 0 {
+				t.Fatalf("local sweep failed at %v: %v", v, fails)
+			}
+			local = append(local, row{v, pts})
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, base := newTestDaemon(t, ServerOpts{Workers: 2})
+	cl, err := NewClient(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var remote []row
+	err = cl.StreamLevels(ctx, spec,
+		func(v circuit.Millivolts, pts map[circuit.Mode]*sim.Point, fails map[circuit.Mode]*sim.CellError) error {
+			if len(fails) != 0 {
+				t.Fatalf("daemon sweep failed at %v: %v", v, fails)
+			}
+			remote = append(remote, row{v, pts})
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(remote) != len(local) {
+		t.Fatalf("daemon path emitted %d levels, local %d", len(remote), len(local))
+	}
+	for i := range local {
+		if remote[i].v != local[i].v {
+			t.Fatalf("level %d: daemon emitted %v, local %v (order must match)", i, remote[i].v, local[i].v)
+		}
+		for _, m := range modes {
+			lp, rp := local[i].pts[m], remote[i].pts[m]
+			if lp == nil || rp == nil {
+				t.Fatalf("level %v mode %v missing a point (local %v, remote %v)", local[i].v, m, lp, rp)
+			}
+			if rp.Agg.Run != lp.Agg.Run || rp.Agg.Time != lp.Agg.Time || rp.Agg.Plan != lp.Agg.Plan {
+				t.Fatalf("level %v mode %v: daemon aggregate differs from local", local[i].v, m)
+			}
+		}
+	}
+}

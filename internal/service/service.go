@@ -1,0 +1,198 @@
+// Package service is the sweep daemon: an HTTP/JSON control plane that
+// accepts sweep specifications, decomposes them into journal-keyed cells,
+// and hands the cells to workers under time-bounded leases. It turns the
+// sim runner's single-process resilience layer (journaling, retries,
+// partial sweeps) into a multi-process one: workers can crash, hang, or be
+// kill -9'ed and the sweep still completes, bit-identical to an
+// uninterrupted local run.
+//
+// # Cells and content addressing
+//
+// A submitted SweepSpec expands into one Cell per (mode, voltage, trace)
+// triple, in the same fixed (mode, level, trace) order a local sweep uses.
+// Each cell carries the journal content address (sim.Runner.CellKey) that
+// its result must land under — a hash of the trace bytes, the full core
+// configuration, the windowing plan and the engine version. That key is
+// the system's idempotency token: executing a cell twice is harmless
+// because both executions write the same bytes to the same address, and a
+// replayed cell is indistinguishable from a fresh one. Results never
+// travel over HTTP; workers and daemon share the journal directory, the
+// lease protocol only moves coordination metadata, and the daemon reads
+// each completed cell back through the journal's integrity check.
+//
+// # Leases, heartbeats, reclamation
+//
+// Workers pull cells by acquiring a Lease — exclusive, time-bounded
+// (SchedulerOpts.LeaseTTL) permission to execute one cell. A live worker
+// extends its lease by heartbeating at TTL/3; the scheduler's janitor
+// reclaims any lease that outlives its TTL and requeues the cell, so a
+// crashed, hung, partitioned or kill -9'ed worker delays its cells by at
+// most one TTL. A worker that comes back from a pause after losing its
+// lease gets ErrLeaseLost on the next heartbeat or completion and abandons
+// the cell; only the current leaseholder's completion counts, so a cell is
+// never double-counted even when an old and a new holder both finish it
+// (their results are bit-identical by the keying contract anyway). Each
+// reclamation increments the cell's attempt count; a cell that exhausts
+// SchedulerOpts.MaxAttempts is declared failed and the sweep finishes
+// partial, reporting it — a poison cell cannot wedge the service.
+//
+// # Failure semantics
+//
+// The deliberate failure modes, and what each costs:
+//
+//   - Worker dies mid-cell: lease expires, cell requeues, another worker
+//     re-runs it. Cost: one TTL of latency. The half-written journal entry
+//     (if any) is a temp file the atomic-rename protocol never published.
+//   - Worker completes but the daemon misses it (network): the journal
+//     entry exists; the re-run's Runner replays it instead of
+//     re-simulating. Cost: one lease round-trip.
+//   - Daemon dies: the exclusive-writer LOCK file (internal/journal) is
+//     reclaimed by the next daemon after a liveness check; completed cells
+//     replay from the journal on resubmission, only missing cells
+//     re-simulate.
+//   - Client disconnects mid-stream: its event subscription is dropped;
+//     the sweep runs on. Slow subscribers are disconnected rather than
+//     ever stalling the scheduler (see Scheduler.Subscribe).
+//   - Queue full: submission fails fast with BusyError (HTTP 429 +
+//     Retry-After) instead of queueing unboundedly.
+//   - Drain (SIGTERM): no new leases, no new sweeps (503), in-flight cells
+//     finish and journal; still-incomplete sweeps end "interrupted".
+//     Resubmitting the same spec to the next daemon replays the finished
+//     cells and runs only the remainder.
+//
+// Two worker flavors implement the same CellSource-driven loop: in-process
+// goroutine pools inside the daemon (zero-copy, for single-machine use)
+// and external worker processes (sweepd -worker -join <addr>) that pull
+// leases over HTTP and share the journal directory. Correctness never
+// depends on the flavor or the worker count: the acceptance test runs the
+// same sweep with 1, 2 and 4 workers under kill -9 and asserts identical
+// journals.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"lowvcc/internal/core"
+	"lowvcc/internal/sim"
+)
+
+// Cell is one schedulable unit of a sweep: a single (mode, voltage,
+// trace) simulation, content-addressed by Key.
+type Cell struct {
+	// Sweep and Index identify the cell within its sweep; cells are
+	// indexed in the fixed (mode, level, trace) expansion order.
+	Sweep string `json:"sweep"`
+	Index int    `json:"index"`
+
+	// Label is the operating point's sweep label (sim.SweepLabel) — what
+	// progress lines print and fault-injection rules match on.
+	Label string `json:"label"`
+
+	Mode      string `json:"mode"`
+	VccMV     int    `json:"vcc_mv"`
+	TraceIdx  int    `json:"trace_idx"`
+	TraceName string `json:"trace_name"`
+
+	// Key is the journal content address the cell's result lands under.
+	// The worker recomputes it from Spec and refuses the cell on mismatch
+	// (an engine-version or windowing drift between daemon and worker).
+	Key string `json:"key"`
+
+	// Spec is the submitted sweep spec; the worker regenerates the trace
+	// and core configuration from it deterministically.
+	Spec sim.SweepSpec `json:"spec"`
+}
+
+// Lease is time-bounded permission to execute one cell. The holder must
+// heartbeat before TTL expires or the scheduler reassigns the cell.
+type Lease struct {
+	ID   string `json:"id"`
+	Cell Cell   `json:"cell"`
+
+	// JournalDir is where the result must be journaled; daemon and worker
+	// share it (same machine or shared filesystem).
+	JournalDir  string `json:"journal_dir"`
+	JournalSync bool   `json:"journal_sync"`
+
+	// TTLMS is the lease's time budget in milliseconds; heartbeat at a
+	// third of it.
+	TTLMS int64 `json:"ttl_ms"`
+}
+
+// TTL returns the lease's time budget.
+func (l *Lease) TTL() time.Duration { return time.Duration(l.TTLMS) * time.Millisecond }
+
+// CellEvent is one progress record of a running sweep. Terminal events
+// (Terminal=true, Index=-1) carry the sweep's final state instead of a
+// cell.
+type CellEvent struct {
+	Sweep string `json:"sweep"`
+	// Index is the completed cell's index, or -1 on the terminal event.
+	Index     int    `json:"index"`
+	Label     string `json:"label,omitempty"`
+	Mode      string `json:"mode,omitempty"`
+	VccMV     int    `json:"vcc_mv,omitempty"`
+	TraceIdx  int    `json:"trace_idx,omitempty"`
+	TraceName string `json:"trace_name,omitempty"`
+
+	// Replayed marks a cell served from the journal without simulating.
+	Replayed bool `json:"replayed,omitempty"`
+	// Worker names who completed the cell (in-process slots are "local/N").
+	Worker string `json:"worker,omitempty"`
+
+	// Result is the cell's simulation result (nil on failure and on the
+	// terminal event — aggregate results are read per-cell).
+	Result *core.Result `json:"result,omitempty"`
+	// Err is the cell's (or sweep's) failure, "" on success.
+	Err string `json:"err,omitempty"`
+
+	Done   int `json:"done"`
+	Failed int `json:"failed,omitempty"`
+	Total  int `json:"total"`
+
+	Terminal bool `json:"terminal,omitempty"`
+	// State on the terminal event: "done", "failed" or "interrupted".
+	State string `json:"state,omitempty"`
+}
+
+// SweepStatus is a point-in-time summary of one sweep.
+type SweepStatus struct {
+	ID string `json:"id"`
+	// State: "running", "done", "failed" (some cells exhausted their
+	// attempts) or "interrupted" (the daemon drained mid-sweep).
+	State    string `json:"state"`
+	Done     int    `json:"done"`
+	Failed   int    `json:"failed"`
+	Replayed int    `json:"replayed"`
+	Total    int    `json:"total"`
+}
+
+// Terminal reports whether the sweep has finished (in any state).
+func (s SweepStatus) Terminal() bool { return s.State != "running" }
+
+// BusyError reports a submission rejected by backpressure: the cell queue
+// cannot absorb the sweep. Retry after RetryAfter.
+type BusyError struct {
+	RetryAfter time.Duration
+	Queued     int
+	Limit      int
+}
+
+func (e *BusyError) Error() string {
+	return fmt.Sprintf("service: queue full (%d cells queued, limit %d); retry after %s",
+		e.Queued, e.Limit, e.RetryAfter)
+}
+
+// ErrDraining rejects new work while the daemon shuts down gracefully.
+var ErrDraining = errors.New("service: draining, not accepting new sweeps")
+
+// ErrLeaseLost tells a worker its lease expired and was reassigned (or the
+// lease ID never existed). The worker abandons the cell; the result it may
+// already have journaled is still valid and will be replayed.
+var ErrLeaseLost = errors.New("service: lease lost")
+
+// ErrUnknownSweep reports a status or subscription request for a sweep ID
+// the scheduler has never seen.
+var ErrUnknownSweep = errors.New("service: unknown sweep")

@@ -69,8 +69,10 @@ type Runner struct {
 	Retries int
 
 	// RetryBackoff is the sleep before the first retry, doubling per
-	// subsequent attempt (0 = retry immediately). The sleep aborts promptly
-	// on context cancellation.
+	// subsequent attempt and jittered uniformly into [d/2, d] so retries
+	// never synchronize — reassigned cells from a died worker must not
+	// thundering-herd the journal or scheduler (0 = retry immediately).
+	// The sleep aborts promptly on context cancellation.
 	RetryBackoff time.Duration
 
 	// JournalDir, when non-empty, enables the on-disk result journal
@@ -81,6 +83,11 @@ type Runner struct {
 	// instead of re-simulating them — a killed sweep resumes bit-identical
 	// to an uninterrupted one. "" (the default) disables journaling.
 	JournalDir string
+
+	// JournalSync selects fsync-on-Put for the journal (power-loss
+	// durability instead of crash-only; see journal.SetSync). The sweep
+	// daemon turns it on; the CLIs leave it off.
+	JournalSync bool
 
 	// AllowPartial switches failure handling from strict (a failed cell
 	// cancels the sweep; the stream ends with one terminal error) to
@@ -137,6 +144,13 @@ func (r *Runner) WithRetry(n int, backoff time.Duration) *Runner {
 // disables it) and returns r for chaining.
 func (r *Runner) WithJournal(dir string) *Runner {
 	r.JournalDir = dir
+	return r
+}
+
+// WithJournalSync selects fsync-on-Put for the journal and returns r for
+// chaining.
+func (r *Runner) WithJournalSync(on bool) *Runner {
+	r.JournalSync = on
 	return r
 }
 

@@ -1,0 +1,157 @@
+package sim
+
+// Sweep-spec (de)serialization: the wire form a sweep request travels in
+// between the CLIs, the sweep daemon (internal/service) and its external
+// worker processes. The spec deliberately carries generators, not data:
+// the workload suite is a pure function of (InstsPerTrace,
+// SeedsPerProfile), so a remote worker regenerates bit-identical traces
+// locally instead of shipping megabytes of records, and the windowing
+// parameters pin the exact journal content addresses both sides compute.
+
+import (
+	"fmt"
+	"strings"
+
+	"lowvcc/internal/circuit"
+	"lowvcc/internal/core"
+	"lowvcc/internal/trace"
+)
+
+// SweepSpec is a serializable sweep request: everything needed to
+// reproduce the (mode, vcc, trace) cell grid deterministically on any
+// process running the same engine build.
+type SweepSpec struct {
+	// InstsPerTrace and SeedsPerProfile size the workload suite
+	// (workload.Suite); the suite is deterministic in them.
+	InstsPerTrace   int `json:"insts_per_trace"`
+	SeedsPerProfile int `json:"seeds_per_profile"`
+	// Modes names the designs to sweep ("baseline", "iraw", "faultybits",
+	// "extrabypass").
+	Modes []string `json:"modes"`
+	// LevelsMV lists the voltage levels in sweep order; empty selects the
+	// full supported range (circuit.Levels()).
+	LevelsMV []int `json:"levels_mv,omitempty"`
+	// WindowInsts, WarmInsts and WarmMode mirror the Runner fields of the
+	// same names; they are part of every cell's journal key.
+	WindowInsts int    `json:"window_insts,omitempty"`
+	WarmInsts   int    `json:"warm_insts,omitempty"`
+	WarmMode    string `json:"warm_mode,omitempty"` // "functional" (default) or "timed"
+}
+
+// Validate reports whether the spec is structurally runnable. It is the
+// admission check the sweep service applies to untrusted submissions, so
+// it rejects rather than clamps.
+func (s SweepSpec) Validate() error {
+	if s.InstsPerTrace <= 0 {
+		return fmt.Errorf("sim: spec: insts_per_trace %d must be positive", s.InstsPerTrace)
+	}
+	if s.InstsPerTrace > 100_000_000 {
+		return fmt.Errorf("sim: spec: insts_per_trace %d is implausibly large", s.InstsPerTrace)
+	}
+	if s.SeedsPerProfile <= 0 || s.SeedsPerProfile > 64 {
+		return fmt.Errorf("sim: spec: seeds_per_profile %d out of range [1, 64]", s.SeedsPerProfile)
+	}
+	if len(s.Modes) == 0 {
+		return fmt.Errorf("sim: spec: no modes")
+	}
+	if _, err := s.CircuitModes(); err != nil {
+		return err
+	}
+	for _, mv := range s.LevelsMV {
+		v := circuit.Millivolts(mv)
+		if v < circuit.VMin || v > circuit.VMax {
+			return fmt.Errorf("sim: spec: level %dmV outside supported range [%v, %v]", mv, circuit.VMin, circuit.VMax)
+		}
+	}
+	if s.WindowInsts < 0 {
+		return fmt.Errorf("sim: spec: window_insts %d must be >= 0", s.WindowInsts)
+	}
+	if _, err := ParseWarmMode(s.WarmMode); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ParseMode maps a design name to its circuit.Mode (the inverse of
+// Mode.String).
+func ParseMode(name string) (circuit.Mode, error) {
+	switch strings.TrimSpace(name) {
+	case "baseline":
+		return circuit.ModeBaseline, nil
+	case "iraw":
+		return circuit.ModeIRAW, nil
+	case "faultybits":
+		return circuit.ModeFaultyBits, nil
+	case "extrabypass":
+		return circuit.ModeExtraBypass, nil
+	default:
+		return 0, fmt.Errorf("sim: unknown mode %q (want baseline, iraw, faultybits or extrabypass)", name)
+	}
+}
+
+// ParseModes maps a comma-separated design list ("baseline,iraw") to
+// modes — the CLIs' -modes flag format.
+func ParseModes(list string) ([]circuit.Mode, error) {
+	var modes []circuit.Mode
+	for _, s := range strings.Split(list, ",") {
+		m, err := ParseMode(s)
+		if err != nil {
+			return nil, err
+		}
+		modes = append(modes, m)
+	}
+	return modes, nil
+}
+
+// CircuitModes resolves the spec's mode names.
+func (s SweepSpec) CircuitModes() ([]circuit.Mode, error) {
+	modes := make([]circuit.Mode, len(s.Modes))
+	for i, name := range s.Modes {
+		m, err := ParseMode(name)
+		if err != nil {
+			return nil, err
+		}
+		modes[i] = m
+	}
+	return modes, nil
+}
+
+// Levels resolves the spec's voltage list (full range when empty).
+func (s SweepSpec) Levels() []circuit.Millivolts {
+	if len(s.LevelsMV) == 0 {
+		return circuit.Levels()
+	}
+	levels := make([]circuit.Millivolts, len(s.LevelsMV))
+	for i, mv := range s.LevelsMV {
+		levels[i] = circuit.Millivolts(mv)
+	}
+	return levels
+}
+
+// Traces materializes the spec's workload suite (memoized by workload's
+// keyed cache, so repeated materialization across sweeps is free).
+func (s SweepSpec) Traces() []*trace.Trace {
+	return SuiteSpec{InstsPerTrace: s.InstsPerTrace, SeedsPerProfile: s.SeedsPerProfile}.Traces()
+}
+
+// NewRunner builds a Runner carrying the spec's windowing plan — the
+// configuration under which every cell's journal key is defined. Call
+// Validate first: an unparseable warm mode falls back to functional here.
+func (s SweepSpec) NewRunner() *Runner {
+	wm, _ := ParseWarmMode(s.WarmMode)
+	return (&Runner{}).WithWindow(s.WindowInsts, s.WarmInsts).WithWarmMode(wm)
+}
+
+// SweepLabel is the canonical label of one operating point's cells, shared
+// by local sweeps and the sweep service so progress lines and
+// fault-injection rules match either way.
+func SweepLabel(v circuit.Millivolts, mode circuit.Mode) string {
+	return fmt.Sprintf("sweep %v %v", v, mode)
+}
+
+// Fig11bFrom derives one voltage's Figure 11(b) row from the two designs'
+// aggregate results — exported for remote-sweep clients that receive the
+// aggregates over the wire instead of simulating locally.
+func Fig11bFrom(v circuit.Millivolts, base, iraw *core.Result) Fig11bRow {
+	return fig11bRow(v, base, iraw)
+}

@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"lowvcc/internal/circuit"
+	"lowvcc/internal/core"
+	"lowvcc/internal/journal"
+)
+
+// TestSweepSpecRoundTrip: the wire form preserves every field a remote
+// worker needs to recompute the cell grid.
+func TestSweepSpecRoundTrip(t *testing.T) {
+	spec := SweepSpec{
+		InstsPerTrace:   2000,
+		SeedsPerProfile: 1,
+		Modes:           []string{"baseline", "iraw"},
+		LevelsMV:        []int{500, 400},
+		WindowInsts:     1000,
+		WarmInsts:       -1,
+		WarmMode:        "timed",
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got SweepSpec
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.InstsPerTrace != spec.InstsPerTrace || got.WarmInsts != spec.WarmInsts ||
+		got.WarmMode != spec.WarmMode || len(got.Modes) != 2 || len(got.LevelsMV) != 2 {
+		t.Fatalf("round trip mangled the spec: %+v", got)
+	}
+
+	modes, err := got.CircuitModes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if modes[0] != circuit.ModeBaseline || modes[1] != circuit.ModeIRAW {
+		t.Fatalf("CircuitModes = %v", modes)
+	}
+	levels := got.Levels()
+	if len(levels) != 2 || levels[0] != 500 || levels[1] != 400 {
+		t.Fatalf("Levels = %v", levels)
+	}
+	r := got.NewRunner()
+	if r.WindowInsts != 1000 || r.WarmInsts != -1 || r.WarmMode.String() != "timed" {
+		t.Fatalf("NewRunner dropped windowing: %+v", r)
+	}
+}
+
+// TestSweepSpecValidateRejects: the admission check rejects every
+// structurally broken spec a client could submit.
+func TestSweepSpecValidateRejects(t *testing.T) {
+	good := SweepSpec{InstsPerTrace: 1000, SeedsPerProfile: 1, Modes: []string{"baseline"}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("minimal spec rejected: %v", err)
+	}
+	for name, mutate := range map[string]func(*SweepSpec){
+		"zero insts":     func(s *SweepSpec) { s.InstsPerTrace = 0 },
+		"huge insts":     func(s *SweepSpec) { s.InstsPerTrace = 1 << 40 },
+		"zero seeds":     func(s *SweepSpec) { s.SeedsPerProfile = 0 },
+		"no modes":       func(s *SweepSpec) { s.Modes = nil },
+		"unknown mode":   func(s *SweepSpec) { s.Modes = []string{"turbo"} },
+		"level too low":  func(s *SweepSpec) { s.LevelsMV = []int{300} },
+		"level too high": func(s *SweepSpec) { s.LevelsMV = []int{900} },
+		"neg window":     func(s *SweepSpec) { s.WindowInsts = -5 },
+		"bad warm mode":  func(s *SweepSpec) { s.WarmMode = "psychic" },
+	} {
+		t.Run(name, func(t *testing.T) {
+			s := good
+			mutate(&s)
+			if err := s.Validate(); err == nil {
+				t.Fatalf("Validate accepted %+v", s)
+			}
+		})
+	}
+}
+
+// TestParseModes: round trip through the CLI list format, and rejection
+// with the offending name in the error.
+func TestParseModes(t *testing.T) {
+	modes, err := ParseModes("baseline, iraw,faultybits,extrabypass")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []circuit.Mode{circuit.ModeBaseline, circuit.ModeIRAW, circuit.ModeFaultyBits, circuit.ModeExtraBypass}
+	for i, m := range want {
+		if modes[i] != m {
+			t.Fatalf("ParseModes = %v, want %v", modes, want)
+		}
+	}
+	if _, err := ParseModes("baseline,warp"); err == nil || !strings.Contains(err.Error(), "warp") {
+		t.Fatalf("ParseModes err = %v, want mention of \"warp\"", err)
+	}
+}
+
+// TestSweepLabelMatchesStream: the exported label builder and the internal
+// sweep grid must agree — fault-injection rules and service cells address
+// points by this string.
+func TestSweepLabelMatchesStream(t *testing.T) {
+	specs := sweepSpecs(nil, []circuit.Mode{circuit.ModeIRAW}, []circuit.Millivolts{475})
+	if got, want := specs[0].Label, SweepLabel(475, circuit.ModeIRAW); got != want {
+		t.Fatalf("sweepSpecs label %q != SweepLabel %q", got, want)
+	}
+}
+
+// TestCellKeyMatchesJournal: RunCell journals under exactly the key
+// CellKey predicts, so a scheduler that precomputes keys finds the
+// worker's results.
+func TestCellKeyMatchesJournal(t *testing.T) {
+	spec := SweepSpec{InstsPerTrace: 2000, SeedsPerProfile: 1, Modes: []string{"iraw"}, LevelsMV: []int{500}}
+	tr := spec.Traces()[0]
+	cfg := core.DefaultConfig(500, circuit.ModeIRAW)
+
+	dir := t.TempDir()
+	r := spec.NewRunner().WithJournal(dir)
+	key, err := r.CellKey(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, replayed, err := r.RunCell(t.Context(), SweepLabel(500, circuit.ModeIRAW), cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed {
+		t.Fatal("first run reported a journal replay")
+	}
+	if res == nil || res.Run.Instructions == 0 {
+		t.Fatalf("RunCell result = %+v", res)
+	}
+
+	jnl, err := journal.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ent, ok := jnl.Get(key)
+	if !ok {
+		t.Fatalf("journal has no entry under CellKey %s", key)
+	}
+	if ent.Result.Run != res.Run {
+		t.Fatalf("journaled result differs: %+v vs %+v", ent.Result, res)
+	}
+
+	// Second run replays rather than re-simulating, bit-identical.
+	res2, replayed2, err := spec.NewRunner().WithJournal(dir).RunCell(t.Context(), "replay", cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !replayed2 {
+		t.Fatal("second run did not replay from the journal")
+	}
+	if res2.Run != res.Run || res2.Time != res.Time {
+		t.Fatalf("replayed result differs: %+v vs %+v", res2, res)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
@@ -142,6 +143,57 @@ func traceHash(t *trace.Trace) (string, error) {
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
+// CellKey returns the journal content address the (cfg, tr) cell's
+// stitched Result is recorded under given this runner's windowing plan —
+// the exact key Stream computes internally. External schedulers
+// (internal/service) use it to detect already-journaled cells before
+// leasing any work, and workers use it to verify that their engine build
+// and configuration agree with the daemon that granted the lease: a key
+// mismatch means the two binaries would simulate different numbers, so
+// the cell must not run.
+func (r *Runner) CellKey(cfg core.Config, tr *trace.Trace) (string, error) {
+	pointKey, err := r.cfgHash(cfg)
+	if err != nil {
+		return "", err
+	}
+	th, err := traceHash(tr)
+	if err != nil {
+		return "", err
+	}
+	return journal.Key(th, pointKey), nil
+}
+
+// RunCell runs exactly one (cfg, trace) cell through the stream — with the
+// runner's windowing, retries, journal replay and fault injection all in
+// effect — and returns the cell's stitched Result plus whether it replayed
+// from the journal instead of simulating. label identifies the cell in
+// errors, progress lines and fault-injection rules, exactly like a
+// PointSpec label.
+func (r *Runner) RunCell(ctx context.Context, label string, cfg core.Config, tr *trace.Trace) (*core.Result, bool, error) {
+	var res *core.Result
+	var replayed bool
+	var firstErr error
+	for u := range r.Stream(ctx, []PointSpec{{Label: label, Cfg: cfg, Traces: []*trace.Trace{tr}}}) {
+		if u.Err != nil {
+			if firstErr == nil {
+				firstErr = u.Err
+			}
+			continue
+		}
+		res, replayed = u.Result, u.Replayed
+	}
+	if firstErr != nil {
+		return nil, false, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	if res == nil {
+		return nil, false, fmt.Errorf("sim: cell %s %s produced no result", label, tr.Name)
+	}
+	return res, replayed, nil
+}
+
 func (r *Runner) stream(ctx context.Context, specs []PointSpec, ch chan<- PointUpdate) {
 	defer close(ch)
 
@@ -176,6 +228,7 @@ func (r *Runner) stream(ctx context.Context, specs []PointSpec, ch chan<- PointU
 			emit(PointUpdate{Point: -1, Trace: -1, Err: err})
 			return
 		}
+		jnl.SetSync(r.JournalSync)
 	}
 
 	// Build the cells and the flat job list in (point, trace, window)
@@ -346,7 +399,7 @@ func (r *Runner) runWindowAttempts(ctx context.Context, spec *PointSpec, wc *wor
 		}
 		if attempt <= r.Retries && IsTransient(err) {
 			if r.RetryBackoff > 0 {
-				t := time.NewTimer(r.RetryBackoff << (attempt - 1))
+				t := time.NewTimer(jitteredBackoff(r.RetryBackoff, attempt))
 				select {
 				case <-ctx.Done():
 					t.Stop()
@@ -374,6 +427,21 @@ func (r *Runner) runWindowAttempts(ctx context.Context, spec *PointSpec, wc *wor
 		}
 		return ce
 	}
+}
+
+// jitteredBackoff is the sleep before retry number `attempt`: exponential
+// in the attempt count, then jittered uniformly into [base/2, base]. The
+// jitter is what stops retries from synchronizing: when a died worker's
+// cells are reassigned in a batch (the sweep service's lease reclamation
+// does exactly that), unjittered backoff would march every replacement
+// into the journal and scheduler in lockstep.
+func jitteredBackoff(backoff time.Duration, attempt int) time.Duration {
+	base := backoff << (attempt - 1)
+	if base <= 1 {
+		return base
+	}
+	half := base / 2
+	return half + rand.N(base-half+1)
 }
 
 // runWindowOnce executes one window attempt in isolation: a panic anywhere
@@ -478,7 +546,7 @@ func sweepSpecs(traces []*trace.Trace, modes []circuit.Mode, levels []circuit.Mi
 	for _, mode := range modes {
 		for _, v := range levels {
 			specs = append(specs, PointSpec{
-				Label:  fmt.Sprintf("sweep %v %v", v, mode),
+				Label:  SweepLabel(v, mode),
 				Cfg:    core.DefaultConfig(v, mode),
 				Traces: traces,
 			})
