@@ -33,9 +33,10 @@ func main() {
 	modesFlag := flag.String("modes", "baseline,iraw", "comma-separated designs to sweep")
 	csv := flag.Bool("csv", false, "emit CSV")
 	workers := flag.Int("workers", 0, "simulation worker goroutines (0 = GOMAXPROCS)")
-	window := flag.Int("window", 0, "shard traces into sample windows of this many instructions (0 = off)")
+	window := flag.Int("window", 0, "shard traces into sample windows of this many instructions (0 = auto for long traces, <0 = off)")
 	warm := flag.Int("warm", 0, "warm-up prefix per sample window (0 = mode default, <0 = full prefix)")
 	warmMode := flag.String("warmmode", "functional", "sample-window warm-up: functional (timing-free replay) or timed")
+	ckptSpec := flag.String("ckpt", "", "warm-state checkpoint store: auto (default; journal dir or in-memory), off, or a directory")
 	timeout := flag.Duration("timeout", 0, "per-point wall-clock budget (0 = none)")
 	progress := flag.Bool("progress", false, "print per-point progress lines to stderr")
 	journal := flag.String("journal", "", "journal completed cells to this directory and replay them on restart")
@@ -54,6 +55,7 @@ func main() {
 	sim.SetWarmMode(wm)
 	sim.SetPointTimeout(*timeout)
 	sim.SetJournal(*journal)
+	sim.SetCheckpoints(*ckptSpec)
 	sim.SetRetries(*retries, *retryBackoff)
 	sim.SetAllowPartial(*allowPartial)
 	if *progress {

@@ -80,6 +80,26 @@
 // can observe a torn warm write, so the fill-time signature stays equal to
 // the oracle's — the consistency the measured span's integrity checks
 // verify).
+//
+// # Warm-state checkpoints
+//
+// Because warm state is a pure function of the access sequence, it can be
+// snapshotted and restored instead of re-replayed: Cache.CaptureWarm /
+// Hierarchy.CaptureWarm serialize exactly the access-order state (tags,
+// valid/dirty bits, LRU recency, settled data, ready bits) into a
+// WarmState, and RestoreWarm rebuilds every derived summary — validMask,
+// tagSum, lruOrder, sram ready bounds — from it, so a restored hierarchy
+// is indistinguishable from one that replayed the whole prefix live.
+// Capture refuses anything timing-visible (port holds, in-flight fills,
+// stabilizing writes, corrupt slots): a snapshot is only taken at a quiet
+// boundary, which is what makes it shareable across Vcc points and IRAW
+// modes. LRU ticks are renumbered to a canonical 1..n ranking at capture
+// so snapshots are byte-comparable regardless of how the prefix replay was
+// segmented. The fault map (disabled lines) is deliberately NOT serialized:
+// it is a (vcc, mode, seed) reconfiguration, so RestoreWarm instead
+// verifies the live map is consistent with the snapshot (no valid line on
+// a disabled way) and the checkpoint store keys snapshots by fault-map
+// configuration only when one installs (see internal/ckpt).
 package cache
 
 import (
@@ -935,6 +955,19 @@ type Buffer struct {
 	avoid       bool
 	reserved    int // entry picked by Reserve, -1 when none
 
+	// order/pos keep the entries as a binary min-heap over
+	// (freeAt, entry index), so Reserve reads the earliest-freeing entry
+	// off the root in O(1) instead of the exact argmin scan; the
+	// lexicographic tie-break reproduces the scan's lowest-index choice
+	// bit for bit. Commit re-sinks the allocated entry in O(log entries).
+	// Like the cache's set summaries the heap is maintained regardless of
+	// noFast; the flag only selects whether Reserve consults it.
+	order []int32 // heap of entry indices
+	pos   []int32 // entry index -> heap position
+	// noFast selects the reference argmin scan in Reserve (equivalence
+	// tests and benchmark baseline). Flip only right after construction.
+	noFast bool
+
 	Allocs          uint64
 	FullStallCycles uint64
 	FillStallCycles uint64
@@ -945,7 +978,61 @@ func NewBuffer(name string, entries int) *Buffer {
 	if entries <= 0 {
 		panic(fmt.Sprintf("cache: buffer %q needs entries > 0", name))
 	}
-	return &Buffer{name: name, freeAt: make([]int64, entries), reserved: -1}
+	b := &Buffer{name: name, freeAt: make([]int64, entries), reserved: -1,
+		order: make([]int32, entries), pos: make([]int32, entries)}
+	// The identity permutation is a valid heap for all-zero freeAt (ties
+	// order by entry index).
+	for i := range b.order {
+		b.order[i] = int32(i)
+		b.pos[i] = int32(i)
+	}
+	return b
+}
+
+// SetFastPath enables or disables the heap-backed Reserve (enabled by
+// default), selecting the exact argmin scan as the reference. The heap is
+// maintained either way; flip only right after construction.
+func (b *Buffer) SetFastPath(enabled bool) { b.noFast = !enabled }
+
+// heapLess orders entries by (freeAt, index): the same total order the
+// reference scan's strict-< walk resolves to.
+func (b *Buffer) heapLess(x, y int32) bool {
+	if b.freeAt[x] != b.freeAt[y] {
+		return b.freeAt[x] < b.freeAt[y]
+	}
+	return x < y
+}
+
+func (b *Buffer) heapSwap(i, j int32) {
+	b.order[i], b.order[j] = b.order[j], b.order[i]
+	b.pos[b.order[i]] = i
+	b.pos[b.order[j]] = j
+}
+
+// heapFix restores the heap invariant around entry e after its freeAt
+// changed (Commit only ever raises it, but the full fix is cheap and keeps
+// the structure correct for any caller).
+func (b *Buffer) heapFix(e int32) {
+	i := b.pos[e]
+	for i > 0 && b.heapLess(b.order[i], b.order[(i-1)/2]) {
+		b.heapSwap(i, (i-1)/2)
+		i = (i - 1) / 2
+	}
+	n := int32(len(b.order))
+	for {
+		min, l, r := i, 2*i+1, 2*i+2
+		if l < n && b.heapLess(b.order[l], b.order[min]) {
+			min = l
+		}
+		if r < n && b.heapLess(b.order[r], b.order[min]) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		b.heapSwap(i, min)
+		i = min
+	}
 }
 
 // SetIRAW configures interruption mode (as for Cache).
@@ -974,9 +1061,15 @@ func (b *Buffer) Reserve(cycle int64) int64 {
 		}
 	}
 	best := 0
-	for i, f := range b.freeAt {
-		if f < b.freeAt[best] {
-			best = i
+	if !b.noFast {
+		// The heap root is the (freeAt, index)-minimal entry — exactly the
+		// way the reference scan below picks.
+		best = int(b.order[0])
+	} else {
+		for i, f := range b.freeAt {
+			if f < b.freeAt[best] {
+				best = i
+			}
 		}
 	}
 	if b.freeAt[best] > start {
@@ -994,6 +1087,7 @@ func (b *Buffer) Commit(start, until int64) {
 		panic(fmt.Sprintf("cache: buffer %q Commit without Reserve", b.name))
 	}
 	b.freeAt[b.reserved] = until
+	b.heapFix(int32(b.reserved))
 	b.reserved = -1
 	b.Allocs++
 	if b.interrupted && b.avoid && b.n > 0 {

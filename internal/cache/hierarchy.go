@@ -270,9 +270,10 @@ func (h *Hierarchy) bumpLineVer(line uint64) {
 
 // SetFastPaths enables or disables every hierarchy-level fast path — the
 // cached set state of all five cache blocks and their sram arrays, the
-// per-set corrupt-count summary, the lazy signature memo, and the STable
-// probe early-outs (enabled by default). The TLB translation memo has its
-// own equivalence-tested hook and is not affected. Benchmark-baseline and
+// per-set corrupt-count summary, the lazy signature memo, the STable
+// probe early-outs, and the fill/write-combining buffers' heap-backed
+// Reserve (enabled by default). The TLB translation memo has its own
+// equivalence-tested hook and is not affected. Benchmark-baseline and
 // equivalence-test hook; call right after construction.
 func (h *Hierarchy) SetFastPaths(enabled bool) {
 	for _, c := range []*Cache{h.IL0, h.DL0, h.UL1, h.ITLB, h.DTLB} {
@@ -280,6 +281,8 @@ func (h *Hierarchy) SetFastPaths(enabled bool) {
 	}
 	h.noSigMemo = !enabled
 	h.STab.SetFastPath(enabled)
+	h.FB.SetFastPath(enabled)
+	h.WCB.SetFastPath(enabled)
 }
 
 // translate runs addr through the given TLB and reports the cycle at which

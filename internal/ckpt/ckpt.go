@@ -1,0 +1,454 @@
+// Package ckpt is the warm-state checkpoint store: it captures the
+// functional warm state of a core at fixed trace boundaries and restores it
+// later in O(state size), so a sample window's start no longer costs a
+// replay of its whole warm prefix. It is the SMARTS/SimPoint-style
+// checkpointing half of the sharded-sweep methodology, built on the
+// core-layer warm primitives (core.CaptureWarm / RestoreWarm /
+// WarmReplayRange — see the core package's "Warm-state checkpoints"
+// section for the contract).
+//
+// # Keying and sharing
+//
+// A snapshot is a pure function of (trace, warm-relevant configuration,
+// boundary, engine version) — and of nothing else. In particular it is
+// independent of Vcc, clock plan and IRAW mode, so one snapshot per
+// (trace, boundary) serves every operating point of a sweep: the sweep's
+// hundreds of (vcc, mode) cells share each boundary's snapshot read-only.
+// WarmConfigKey hashes exactly the warm-relevant configuration — the
+// hierarchy and predictor geometry plus the fault-map identity (whether
+// maps install, and from which seed and sigma) — so irrelevant knobs can
+// never split the share and relevant ones can never alias.
+//
+// # Storage
+//
+// Snapshots live in an in-process map (decoded, shared by pointer) and,
+// when a directory is configured, on disk in content-addressed form: one
+// blob file per component (named by its payload's SHA-256, so unchanged
+// components dedup across boundaries) plus one manifest per snapshot key
+// listing the component hashes. Every file carries the journal's integrity
+// header (magic, payload SHA-256, length) and is published by atomic
+// rename; a corrupt or truncated file is a counted miss, never data — the
+// warm prefix simply replays live, and the rebuilt snapshot overwrites the
+// bad file. Sweep workers sharing a journal directory (in-process pools
+// and sweepd -worker processes alike) share the store through the
+// filesystem the same way they share the result journal.
+//
+// # The store is a cache
+//
+// Nothing is ever allowed to fail a simulation because of checkpointing: a
+// failed write costs a future re-replay, a failed read replays live, and a
+// restore that rejects its snapshot (fault-map mismatch, shape drift) falls
+// back to replay. The reference path — checkpoints off, every prefix
+// replayed live — is selectable everywhere and bit-identical (fuzzed).
+package ckpt
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"lowvcc/internal/cache"
+	"lowvcc/internal/circuit"
+	"lowvcc/internal/core"
+	"lowvcc/internal/journal"
+	"lowvcc/internal/predictor"
+	"lowvcc/internal/trace"
+)
+
+// Stats is a snapshot of the store's access counters.
+type Stats struct {
+	// Hits and Misses count snapshot lookups (memory or disk).
+	Hits, Misses uint64
+	// Corrupt counts snapshots rejected by the integrity check or by a
+	// failed restore; each is also a miss.
+	Corrupt uint64
+	// Restores counts windows whose warm prefix was satisfied (fully or
+	// partially) from a snapshot; Replays counts windows warmed by live
+	// replay alone. Their ratio is the checkpoint hit rate.
+	Restores, Replays uint64
+	// Captures counts snapshots built and stored.
+	Captures uint64
+	// WriteErrors counts failed disk writes and failed captures. The store
+	// is a cache: these cost future re-replays, never correctness.
+	WriteErrors uint64
+}
+
+// Store holds warm-state snapshots, in memory and optionally on disk. Safe
+// for concurrent use by multiple goroutines and — thanks to atomic renames
+// and content addressing — by multiple processes sharing the directory. A
+// nil *Store is valid and means "checkpoints off": every operation is a
+// no-op and WarmTo replays live.
+type Store struct {
+	dir string
+
+	mu    sync.Mutex
+	snaps map[string]*core.WarmState
+
+	hits, misses, corrupt, restores, replays, captures, writeErrs atomic.Uint64
+}
+
+// Open returns a store backed by dir; dir "" means memory-only.
+func Open(dir string) (*Store, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("ckpt: %w", err)
+		}
+	}
+	return &Store{dir: dir, snaps: make(map[string]*core.WarmState)}, nil
+}
+
+// Dir returns the store's directory ("" for memory-only).
+func (s *Store) Dir() string {
+	if s == nil {
+		return ""
+	}
+	return s.dir
+}
+
+// Stats returns a snapshot of the access counters.
+func (s *Store) Stats() Stats {
+	if s == nil {
+		return Stats{}
+	}
+	return Stats{
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		Corrupt:     s.corrupt.Load(),
+		Restores:    s.restores.Load(),
+		Replays:     s.replays.Load(),
+		Captures:    s.captures.Load(),
+		WriteErrors: s.writeErrs.Load(),
+	}
+}
+
+// SnapshotKey derives the content address of the snapshot at an instruction
+// boundary of a trace: the trace identity, the warm-relevant configuration
+// (WarmConfigKey) and the engine version pin everything the snapshot is a
+// function of.
+func SnapshotKey(traceHash, warmCfgKey string, boundary int) string {
+	return journal.Key("warm-ckpt", traceHash, warmCfgKey, strconv.Itoa(boundary), core.EngineVersion)
+}
+
+// warmCfg is the warm-relevant slice of a core configuration. Vcc, clock
+// and mode knobs are deliberately absent: warm state is independent of them
+// (the access-order contract), and including them would needlessly split
+// the snapshot share across a sweep's operating points. The fault map is
+// the one mode-adjacent input that does shape warm evolution (disabled
+// lines change victim selection), so its identity — installed or not, and
+// from which seed and sigma — is part of the key; the map itself is
+// reinstalled deterministically by the core's reset, never serialized.
+type warmCfg struct {
+	Hierarchy cache.HierarchyConfig
+	Predictor predictor.Config
+	FaultMap  bool
+	Seed      uint64
+	Sigma     float64
+}
+
+// WarmConfigKey hashes the warm-relevant part of cfg.
+func WarmConfigKey(cfg core.Config) string {
+	w := warmCfg{Hierarchy: cfg.Hierarchy, Predictor: cfg.Predictor}
+	if cfg.Mode == circuit.ModeFaultyBits ||
+		(cfg.Mode == circuit.ModeIRAW && cfg.CombineFaultyBits) {
+		w.FaultMap = true
+		w.Seed = cfg.Seed
+		w.Sigma = cfg.FaultySigma
+	}
+	js, err := json.Marshal(&w)
+	if err != nil {
+		// Config structs are plain scalars; Marshal cannot fail on them.
+		panic(fmt.Sprintf("ckpt: encoding warm config: %v", err))
+	}
+	return journal.Key("warm-cfg", string(js))
+}
+
+// Get returns the snapshot for key, or (nil, false) when absent or failing
+// the integrity check. The returned snapshot is shared: callers must treat
+// it as read-only (core.RestoreWarm does).
+func (s *Store) Get(key string) (*core.WarmState, bool) {
+	if s == nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	ws, ok := s.snaps[key]
+	s.mu.Unlock()
+	if ok {
+		s.hits.Add(1)
+		return ws, true
+	}
+	if s.dir == "" {
+		s.misses.Add(1)
+		return nil, false
+	}
+	ws, err := s.load(key)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			// Corrupt, not absent: evict the manifest so has() stops
+			// reporting a snapshot here and the next WarmTo re-publishes
+			// it (load already evicted any bad blob).
+			s.corrupt.Add(1)
+			os.Remove(s.manifestPath(key))
+		}
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.mu.Lock()
+	// A concurrent loader may have won; keep the first pointer so every
+	// core in the process shares one decoded copy.
+	if prior, ok := s.snaps[key]; ok {
+		ws = prior
+	} else {
+		s.snaps[key] = ws
+	}
+	s.mu.Unlock()
+	s.hits.Add(1)
+	return ws, true
+}
+
+// Put stores the snapshot under key; the caller must not mutate it
+// afterwards. Disk errors are counted and swallowed: the in-memory copy is
+// already serving this process, and other processes re-replay.
+func (s *Store) Put(key string, ws *core.WarmState) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	_, dup := s.snaps[key]
+	if !dup {
+		s.snaps[key] = ws
+	}
+	s.mu.Unlock()
+	s.captures.Add(1)
+	if s.dir == "" || dup {
+		return
+	}
+	if err := s.flush(key, ws); err != nil {
+		s.writeErrs.Add(1)
+	}
+}
+
+// has reports whether a snapshot exists (in memory or as a manifest file)
+// without decoding it.
+func (s *Store) has(key string) bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	_, ok := s.snaps[key]
+	s.mu.Unlock()
+	if ok || s.dir == "" {
+		return ok
+	}
+	_, err := os.Stat(s.manifestPath(key))
+	return err == nil
+}
+
+// drop forgets a snapshot that failed to restore, so the next probe
+// rebuilds it instead of re-hitting the bad copy.
+func (s *Store) drop(key string) {
+	s.mu.Lock()
+	delete(s.snaps, key)
+	s.mu.Unlock()
+	if s.dir != "" {
+		os.Remove(s.manifestPath(key))
+	}
+}
+
+// WarmTo brings a freshly reset core to warm boundary n of tr: it restores
+// the deepest usable snapshot at a multiple of interval, replays the
+// residual tail through the functional warm path, and captures any
+// boundary snapshots still missing along the way. The resulting core state
+// is observationally identical to a live WarmReplay(tr, n) — checkpointing
+// only moves work, never results. A nil store (or non-positive interval)
+// degrades to exactly that live replay.
+//
+// traceHash and warmCfgKey identify the snapshot family (see SnapshotKey);
+// interval is the boundary spacing in instructions — the sim runner passes
+// its window size, so full-history warm prefixes land exactly on
+// boundaries and steady-state windows restore without any replay.
+func (s *Store) WarmTo(c *core.Core, traceHash, warmCfgKey string, interval int, tr *trace.Trace, n int) error {
+	if s == nil || interval <= 0 {
+		return c.WarmReplay(tr, n)
+	}
+	pos := 0
+	for b := n / interval * interval; b >= interval; b -= interval {
+		key := SnapshotKey(traceHash, warmCfgKey, b)
+		ws, ok := s.Get(key)
+		if !ok {
+			continue
+		}
+		if err := c.RestoreWarm(ws); err != nil {
+			// Keyed identically yet unusable: a scrambled or stale copy.
+			// Forget it and probe shallower; the replay below rebuilds it.
+			s.drop(key)
+			s.corrupt.Add(1)
+			continue
+		}
+		pos = b
+		break
+	}
+	if pos > 0 {
+		s.restores.Add(1)
+	} else if n > 0 {
+		s.replays.Add(1)
+	}
+	for pos < n {
+		next := (pos/interval + 1) * interval
+		if next > n {
+			next = n
+		}
+		if err := c.WarmReplayRange(tr, pos, next); err != nil {
+			return err
+		}
+		pos = next
+		if pos%interval == 0 {
+			key := SnapshotKey(traceHash, warmCfgKey, pos)
+			if !s.has(key) {
+				ws, err := c.CaptureWarm()
+				if err != nil {
+					// Capture refused (timed residue?) — checkpointing is
+					// best-effort, the warm state itself is fine: keep
+					// replaying live.
+					s.writeErrs.Add(1)
+					continue
+				}
+				s.Put(key, ws)
+			}
+		}
+	}
+	return nil
+}
+
+// ---- disk format ----
+
+const headerMagic = "lowvccckpt1"
+
+func (s *Store) manifestPath(key string) string { return filepath.Join(s.dir, key+".ckpt") }
+func (s *Store) blobPath(hash string) string    { return filepath.Join(s.dir, "blob-"+hash) }
+
+// seal prepends the integrity header (magic, payload SHA-256, length) and
+// returns the framed file plus the payload's hash.
+func seal(payload []byte) ([]byte, string) {
+	sum := fmt.Sprintf("%x", sha256.Sum256(payload))
+	header := fmt.Sprintf("%s %s %d\n", headerMagic, sum, len(payload))
+	return append([]byte(header), payload...), sum
+}
+
+// unseal verifies the integrity header and returns the payload.
+func unseal(data []byte) ([]byte, error) {
+	nl := strings.IndexByte(string(data), '\n')
+	if nl < 0 {
+		return nil, fmt.Errorf("ckpt: truncated header")
+	}
+	var magicGot, sum string
+	var length int
+	if _, err := fmt.Sscanf(string(data[:nl]), "%s %s %d", &magicGot, &sum, &length); err != nil || magicGot != headerMagic {
+		return nil, fmt.Errorf("ckpt: bad header")
+	}
+	payload := data[nl+1:]
+	if len(payload) != length {
+		return nil, fmt.Errorf("ckpt: payload %d bytes, header says %d (truncated write)", len(payload), length)
+	}
+	if got := fmt.Sprintf("%x", sha256.Sum256(payload)); got != sum {
+		return nil, fmt.Errorf("ckpt: checksum mismatch")
+	}
+	return payload, nil
+}
+
+// flush writes the snapshot's component blobs (skipping ones already
+// present — content addressing makes them immutable) and then publishes
+// the manifest, all via temp-file + atomic rename.
+func (s *Store) flush(key string, ws *core.WarmState) error {
+	var manifest strings.Builder
+	for _, c := range components(ws) {
+		data, sum := seal(c.data)
+		fmt.Fprintf(&manifest, "%s %s\n", c.name, sum)
+		path := s.blobPath(sum)
+		// Dedup: an intact blob with this hash is this blob. Verify, don't
+		// just stat — trusting a name would let a torn or scrambled file
+		// block its own repair forever.
+		if existing, err := os.ReadFile(path); err == nil {
+			if p, err := unseal(existing); err == nil &&
+				fmt.Sprintf("%x", sha256.Sum256(p)) == sum {
+				continue
+			}
+		}
+		if err := s.writeFile(path, data); err != nil {
+			return err
+		}
+	}
+	data, _ := seal([]byte(manifest.String()))
+	return s.writeFile(s.manifestPath(key), data)
+}
+
+// load reads and verifies the manifest and every component blob for key.
+// os.IsNotExist errors mean a plain miss; anything else is corruption.
+func (s *Store) load(key string) (*core.WarmState, error) {
+	raw, err := os.ReadFile(s.manifestPath(key))
+	if err != nil {
+		return nil, err
+	}
+	payload, err := unseal(raw)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: manifest %s: %w", key, err)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(payload), "\n"), "\n")
+	if len(lines) != len(componentNames) {
+		return nil, fmt.Errorf("ckpt: manifest %s: %d components, want %d", key, len(lines), len(componentNames))
+	}
+	payloads := make(map[string][]byte, len(componentNames))
+	for i, line := range lines {
+		name, sum, ok := strings.Cut(line, " ")
+		if !ok || name != componentNames[i] {
+			return nil, fmt.Errorf("ckpt: manifest %s: bad component line %q", key, line)
+		}
+		braw, err := os.ReadFile(s.blobPath(sum))
+		if err != nil {
+			return nil, fmt.Errorf("ckpt: manifest %s: %w", key, err)
+		}
+		bp, err := unseal(braw)
+		if err != nil {
+			// A blob that fails its own header is not the content its name
+			// claims: evict it, or flush's existence check would keep
+			// trusting the bad bytes and rebuilds could never heal.
+			os.Remove(s.blobPath(sum))
+			return nil, fmt.Errorf("ckpt: blob %s: %w", sum, err)
+		}
+		// The header hash was just verified; it must also be the content
+		// address the manifest pointed at.
+		if got := fmt.Sprintf("%x", sha256.Sum256(bp)); got != sum {
+			os.Remove(s.blobPath(sum))
+			return nil, fmt.Errorf("ckpt: blob %s holds content %s", sum, got)
+		}
+		payloads[name] = bp
+	}
+	return assemble(payloads)
+}
+
+func (s *Store) writeFile(path string, data []byte) error {
+	tmp, err := os.CreateTemp(s.dir, ".put-*")
+	if err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("ckpt: writing %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("ckpt: closing %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("ckpt: publishing %s: %w", path, err)
+	}
+	return nil
+}

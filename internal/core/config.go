@@ -82,6 +82,36 @@
 // state in access order; what it cannot reproduce is timing-dependent
 // interleaving (MSHR merges, fill-completion ordering), which is the low
 // single-digit residual the sharding-bias golden test bounds.
+//
+// # Warm-state checkpoints
+//
+// Because warm state is a pure function of the instruction sequence, it can
+// be captured once and restored instead of replayed: CaptureWarm serializes
+// a never-run core's functional warm state (cache/TLB arrays, predictor
+// tables) into an immutable WarmState, and RestoreWarm loads one into a
+// freshly reset core in O(state size) — turning an O(prefix length) window
+// start into a near-constant one. The contract the checkpoint layer relies
+// on:
+//
+//   - capture requires c.now == 0 and refuses any timed residue (elapsed
+//     cycles, holds, in-flight fills, stabilization stamps), so a snapshot
+//     can only ever hold access-order state;
+//   - snapshots are canonical (LRU ticks renumbered by rank, derived
+//     summaries recomputed on restore), so the same prefix produces
+//     byte-identical snapshots however its replay was segmented;
+//   - snapshots are Vcc- and mode-independent — one snapshot per (trace,
+//     warm-relevant config, boundary) serves every operating point of a
+//     sweep, shared read-only across cores and workers;
+//   - fault maps are not serialized: reset reinstalls them
+//     deterministically from (Seed, FaultySigma), so they key the snapshot,
+//     and RestoreWarm rejects a snapshot whose valid entries collide with a
+//     disabled line;
+//   - restore + WarmReplayRange of the residual tail + RunWarmed yields
+//     Results bit-identical to a continuous WarmReplay + RunWarmed
+//     (fuzz-tested by internal/ckpt and internal/sim).
+//
+// internal/ckpt builds the content-addressed store on these primitives;
+// internal/sim routes sharded windows through it by default.
 package core
 
 import (
@@ -100,7 +130,7 @@ import (
 // bump it. internal/journal keys cached cell results by it, so a bump
 // invalidates every previously journaled entry at once instead of
 // replaying stale numbers.
-const EngineVersion = "lowvcc-engine-6"
+const EngineVersion = "lowvcc-engine-7"
 
 // Config describes one simulated operating point.
 type Config struct {

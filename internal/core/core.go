@@ -412,10 +412,25 @@ func (c *Core) RunWindow(tr *trace.Trace, measureFrom int, warm WarmMode) (*Resu
 				return nil, err
 			}
 		}
-		span := &trace.Trace{Name: tr.Name, Insts: tr.Insts[measureFrom:]}
-		return c.run(span, 0)
+		return c.RunWarmed(tr, measureFrom)
 	}
 	return c.run(tr, measureFrom)
+}
+
+// RunWarmed simulates tr's measured span — the instructions from measureFrom
+// on — on the timed engine, assuming the warm-up prefix has already been
+// applied to the core (via WarmReplay/WarmReplayRange, a checkpoint
+// RestoreWarm, or any mix of restore and residual replay). It is the second
+// half of RunWindow's functional branch, exposed so the checkpoint store can
+// substitute a snapshot restore for the live replay; measurement covers
+// every simulated cycle, exactly as in RunWindow.
+func (c *Core) RunWarmed(tr *trace.Trace, measureFrom int) (*Result, error) {
+	if measureFrom < 0 || measureFrom >= len(tr.Insts) {
+		return nil, fmt.Errorf("core: window start %d out of range for trace %q (%d insts)",
+			measureFrom, tr.Name, len(tr.Insts))
+	}
+	span := &trace.Trace{Name: tr.Name, Insts: tr.Insts[measureFrom:]}
+	return c.run(span, 0)
 }
 
 func (c *Core) run(tr *trace.Trace, measureFrom int) (*Result, error) {

@@ -64,14 +64,27 @@ const warmStopStride = 4096
 // polled so context cancellation and point timeouts preempt warm replay
 // just as they preempt timed simulation.
 func (c *Core) WarmReplay(tr *trace.Trace, n int) error {
-	if n < 0 || n > len(tr.Insts) {
-		return fmt.Errorf("core: warm prefix %d out of range for trace %q (%d insts)",
-			n, tr.Name, len(tr.Insts))
+	return c.WarmReplayRange(tr, 0, n)
+}
+
+// WarmReplayRange functionally replays instructions [from, to) of tr — the
+// segmented form of WarmReplay that the checkpoint store uses to replay only
+// the residual tail after restoring a snapshot. Replaying a prefix in
+// segments leaves the same warm state as one continuous replay: the only
+// segmentation artifacts are the per-segment fetch-line memo reset (at worst
+// one extra warm fetch of an already most-recently-touched line — an
+// order-preserving no-op) and warm-memo invalidation (the memos are
+// result-invariant caches). Tick counters advance differently, but only
+// their ordering is observable and capture normalizes it away.
+func (c *Core) WarmReplayRange(tr *trace.Trace, from, to int) error {
+	if from < 0 || to < from || to > len(tr.Insts) {
+		return fmt.Errorf("core: warm range [%d, %d) out of range for trace %q (%d insts)",
+			from, to, tr.Name, len(tr.Insts))
 	}
 	at := c.now
 	c.mem.BeginWarm()
 	lastLine := ^uint64(0)
-	for i := 0; i < n; i++ {
+	for i := from; i < to; i++ {
 		if c.stop != nil && i&(warmStopStride-1) == 0 {
 			if err := c.stop(); err != nil {
 				return fmt.Errorf("core: %s: warm replay aborted: %w", tr.Name, err)

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"fmt"
+
+	"lowvcc/internal/cache"
+	"lowvcc/internal/predictor"
+)
+
+// WarmState is the checkpointable snapshot of a core that has only been
+// warmed functionally: the memory hierarchy's and branch predictor's warm
+// states, which together are everything a WarmReplay from reset can evolve.
+// The pipeline-side blocks (scoreboard, IQ, register file, timing wheel)
+// stay at their reset values during functional warm-up, so they are asserted
+// cold rather than serialized, and the clock never moved (c.now == 0).
+//
+// Because warm state is a pure function of the instruction sequence under
+// the access-order contract — independent of Vcc, clock plan and IRAW mode —
+// one WarmState is shared read-only across every operating point of a sweep:
+// restores copy out of it and never mutate it.
+type WarmState struct {
+	Mem *cache.HierarchyWarmState
+	BP  *predictor.WarmState
+}
+
+// CaptureWarm snapshots the core's functional warm state. The core must be
+// at cycle zero (freshly reset or only ever warmed functionally); any timed
+// state — elapsed cycles, port holds, in-flight fills, stabilization stamps
+// — makes the capture fail rather than silently serialize timing.
+func (c *Core) CaptureWarm() (*WarmState, error) {
+	if c.now != 0 {
+		return nil, fmt.Errorf("core: clock at cycle %d — warm capture requires a never-run core", c.now)
+	}
+	mem, err := c.mem.CaptureWarm()
+	if err != nil {
+		return nil, err
+	}
+	bp, err := c.bp.CaptureWarm()
+	if err != nil {
+		return nil, err
+	}
+	return &WarmState{Mem: mem, BP: bp}, nil
+}
+
+// RestoreWarm loads a warm snapshot into the core, which must be freshly
+// reset (cycle zero, fault maps installed, nothing run). After the restore
+// the core is observationally equivalent to one that replayed the snapshot's
+// producing instruction sequence itself: a following WarmReplayRange or
+// timed run behaves identically. The snapshot is only read.
+func (c *Core) RestoreWarm(s *WarmState) error {
+	if c.now != 0 {
+		return fmt.Errorf("core: clock at cycle %d — warm restore requires a reset core", c.now)
+	}
+	if s == nil || s.Mem == nil || s.BP == nil {
+		return fmt.Errorf("core: nil warm snapshot")
+	}
+	if err := c.mem.RestoreWarm(s.Mem); err != nil {
+		return err
+	}
+	return c.bp.RestoreWarm(s.BP)
+}

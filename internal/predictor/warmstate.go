@@ -1,0 +1,68 @@
+package predictor
+
+import "fmt"
+
+// WarmState is the checkpointable snapshot of a predictor trained only
+// through the functional warm path (WarmBranch/WarmCall/WarmReturn). Warm
+// training stamps every write as settled (updatedAt/rsbPushed -1, no MSB
+// flip tracking), so the counters, global history, RSB contents and stack
+// top are the complete evolving state; the settled stamps are reasserted on
+// restore rather than serialized.
+//
+// A WarmState is immutable once captured: restores copy out of it, so one
+// snapshot is safely shared read-only across any number of cores.
+type WarmState struct {
+	Counters []uint8
+	History  uint32
+	RSB      []uint64
+	Top      int32
+}
+
+// CaptureWarm snapshots the predictor's warm state. It fails if any timed
+// stabilization stamp is present — state a pure warm replay from reset
+// cannot produce.
+func (p *Predictor) CaptureWarm() (*WarmState, error) {
+	for i, at := range p.updatedAt {
+		if at != -1 || p.msbFlipped[i] {
+			return nil, fmt.Errorf("predictor: counter %d carries a timed update stamp", i)
+		}
+	}
+	for i, at := range p.rsbPushed {
+		if at != -1 {
+			return nil, fmt.Errorf("predictor: RSB entry %d carries a timed push stamp", i)
+		}
+	}
+	s := &WarmState{
+		Counters: make([]uint8, len(p.counters)),
+		History:  p.history,
+		RSB:      make([]uint64, len(p.rsb)),
+		Top:      int32(p.top),
+	}
+	copy(s.Counters, p.counters)
+	copy(s.RSB, p.rsb)
+	return s, nil
+}
+
+// RestoreWarm loads a warm snapshot into the predictor, which must be
+// freshly constructed (or equivalent to it). The snapshot is only read.
+func (p *Predictor) RestoreWarm(s *WarmState) error {
+	if len(s.Counters) != len(p.counters) || len(s.RSB) != len(p.rsb) {
+		return fmt.Errorf("predictor: warm snapshot shape mismatch (%d/%d counters, %d/%d RSB entries)",
+			len(s.Counters), len(p.counters), len(s.RSB), len(p.rsb))
+	}
+	if s.Top < 0 || int(s.Top) >= p.cfg.RSBEntries {
+		return fmt.Errorf("predictor: warm snapshot top %d out of range [0,%d)", s.Top, p.cfg.RSBEntries)
+	}
+	copy(p.counters, s.Counters)
+	copy(p.rsb, s.RSB)
+	p.history = s.History
+	p.top = int(s.Top)
+	for i := range p.updatedAt {
+		p.updatedAt[i] = -1
+		p.msbFlipped[i] = false
+	}
+	for i := range p.rsbPushed {
+		p.rsbPushed[i] = -1
+	}
+	return nil
+}

@@ -12,9 +12,10 @@ import (
 	"lowvcc/internal/workload"
 )
 
-// TestFunctionalWarmShardingBias is the PR's golden acceptance test: on the
+// TestFunctionalWarmShardingBias is the sharding acceptance test: on the
 // production-style long trace, sample windows warmed with the default
-// functional replay must land within 5% of the unsharded cold pass they
+// functional replay — now full-history (warm=-1) via the checkpoint-backed
+// default — must land within 1% of the unsharded cold pass they
 // approximate — versus the tens-of-percent pessimistic bias of the timed
 // warm-up at its default prefix — and the improvement must not cost
 // bitwise determinism.
@@ -47,8 +48,8 @@ func TestFunctionalWarmShardingBias(t *testing.T) {
 		t.Fatalf("stitch measured %d instructions, want %d", fun.Run.Instructions, len(tr.Insts))
 	}
 	fb := bias(fun)
-	if math.Abs(fb) > 5 {
-		t.Errorf("functional-warm sharding bias %+.2f%% exceeds the 5%% golden tolerance", fb)
+	if math.Abs(fb) > 1 {
+		t.Errorf("functional-warm sharding bias %+.2f%% exceeds the 1%% golden tolerance", fb)
 	}
 
 	tim := run(core.WarmTimed)

@@ -2,11 +2,13 @@ package sim
 
 import (
 	"context"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"lowvcc/internal/ckpt"
 	"lowvcc/internal/core"
 )
 
@@ -37,22 +39,26 @@ type Runner struct {
 	// increasing. Keep it fast: it runs on the emitting worker's goroutine.
 	Progress func(PointUpdate)
 
-	// WindowInsts, when positive, shards every trace longer than
-	// WindowInsts into deterministic sample windows of that many measured
-	// instructions (trace.Shard), each preceded by a WarmInsts warm-up
-	// prefix that executes unmeasured. Sharded cells run each window as one
-	// pass on a fresh (Reset) core and stitch with core.MergeWindowResults;
-	// traces at or under the window size keep the exact unsharded
-	// warm-up + measure methodology. 0 disables sharding.
+	// WindowInsts selects sharded long-trace execution. Positive values
+	// shard every trace longer than WindowInsts into deterministic sample
+	// windows of that many measured instructions (trace.Shard), each
+	// preceded by a WarmInsts warm-up prefix that executes unmeasured.
+	// Sharded cells run each window as one pass on a fresh (Reset) core
+	// and stitch with core.MergeWindowResults; traces at or under the
+	// window size keep the exact unsharded warm-up + measure methodology.
+	// 0 (the default) selects automatic windowing: traces of at least
+	// autoWindowThreshold instructions shard into autoWindowCount windows,
+	// shorter traces run unsharded. Negative values disable sharding
+	// entirely — the explicit opt-out.
 	WindowInsts int
 
 	// WarmInsts is the per-window warm-up prefix length: positive values
-	// are explicit, 0 selects the warm-mode default (two windows of
-	// history — 2*WindowInsts — for functional warm-up, whose replay runs
-	// roughly an order of magnitude faster than simulation; WindowInsts/4
-	// for timed warm-up, where every warm instruction costs a simulated
-	// one), and negative values select the window's entire prefix
-	// (affordable only under functional warm-up).
+	// are explicit, negative values select the window's entire prefix
+	// (full-history warm-up), and 0 selects the warm-mode default — the
+	// full prefix for functional warm-up, whose checkpointed replay makes
+	// whole-history warming affordable (see Checkpoints), and a quarter
+	// window for timed warm-up, where every warm instruction costs a
+	// simulated one.
 	WarmInsts int
 
 	// WarmMode selects how each window's warm-up prefix executes:
@@ -99,6 +105,30 @@ type Runner struct {
 	// Faults, when non-nil, deterministically injects failures for tests
 	// (see FaultPlan). Production runners leave it nil.
 	Faults *FaultPlan
+
+	// CkptStore, when non-nil, is the warm-state checkpoint store sharded
+	// functional warm-up prefixes restore from and capture into
+	// (internal/ckpt) — the explicit hook for benchmarks and tests that
+	// want to prime or inspect one store across several runners.
+	CkptStore *ckpt.Store
+
+	// CkptDir, when non-empty, roots an on-disk checkpoint store there
+	// (consulted only when CkptStore is nil). When both are empty the
+	// store defaults to JournalDir/ckpt when journaling is on — so sweep
+	// workers sharing a journal directory share snapshots through the
+	// filesystem — and otherwise to a process-wide in-memory store.
+	CkptDir string
+
+	// DisableCheckpoints selects the reference warm path: every sharded
+	// window replays its full warm prefix live instead of restoring a
+	// snapshot. Results are bit-identical either way (checkpointing moves
+	// work, never numbers — fuzz-tested); this is the equivalence-test and
+	// benchmark-baseline hook.
+	DisableCheckpoints bool
+
+	// ckptOnce/ckptMemo memoize the resolved store for CkptDir/JournalDir.
+	ckptOnce sync.Once
+	ckptMemo *ckpt.Store
 }
 
 // WithPointTimeout sets the per-cell wall-clock budget and returns r for
@@ -115,9 +145,10 @@ func (r *Runner) WithProgress(f func(PointUpdate)) *Runner {
 	return r
 }
 
-// WithWindow enables sharded long-trace execution (windowInsts measured
-// instructions per sample window, warmInsts of warm-up prefix; 0 selects
-// the warm-mode default, negative the full prefix — see WarmInsts) and
+// WithWindow configures sharded long-trace execution (windowInsts measured
+// instructions per sample window — 0 for automatic windowing, negative to
+// disable sharding; warmInsts of warm-up prefix — 0 for the warm-mode
+// default, negative the full prefix; see WindowInsts and WarmInsts) and
 // returns r for chaining.
 func (r *Runner) WithWindow(windowInsts, warmInsts int) *Runner {
 	r.WindowInsts = windowInsts
@@ -168,16 +199,99 @@ func (r *Runner) WithFaults(p *FaultPlan) *Runner {
 	return r
 }
 
-// warmInsts resolves the effective warm-up prefix length (negative means
-// the full prefix; trace.Shard interprets it).
-func (r *Runner) warmInsts() int {
-	if r.WarmInsts != 0 {
-		return r.WarmInsts
+// WithCheckpointStore attaches an explicit warm-state checkpoint store and
+// returns r for chaining.
+func (r *Runner) WithCheckpointStore(s *ckpt.Store) *Runner {
+	r.CkptStore = s
+	return r
+}
+
+// WithCheckpointDir roots the warm-state checkpoint store at dir (see
+// CkptDir for the resolution order) and returns r for chaining.
+func (r *Runner) WithCheckpointDir(dir string) *Runner {
+	r.CkptDir = dir
+	return r
+}
+
+// WithDisableCheckpoints selects the live-replay reference warm path and
+// returns r for chaining.
+func (r *Runner) WithDisableCheckpoints(disable bool) *Runner {
+	r.DisableCheckpoints = disable
+	return r
+}
+
+// Automatic windowing policy: with WindowInsts 0, traces of at least
+// autoWindowThreshold instructions shard into autoWindowCount equal
+// windows. The threshold keeps the evaluation suites (tens of thousands of
+// instructions) on the exact unsharded methodology; the count is small
+// enough that each window amortizes its pipeline cold-start and large
+// enough to parallelize a long trace across a typical pool.
+const (
+	autoWindowThreshold = 200_000
+	autoWindowCount     = 8
+)
+
+// planFor resolves the effective (window, warm) plan for a trace of n
+// instructions — the pure function of (WindowInsts, WarmInsts, WarmMode, n)
+// that the shard plan, the journal keys and the checkpoint boundaries are
+// all defined by. A zero window result means the trace runs unsharded.
+func (r *Runner) planFor(n int) (win, warm int) {
+	win = r.WindowInsts
+	switch {
+	case win < 0:
+		return 0, 0
+	case win == 0:
+		if n < autoWindowThreshold {
+			return 0, 0
+		}
+		win = (n + autoWindowCount - 1) / autoWindowCount
 	}
-	if r.WarmMode == core.WarmFunctional {
-		return 2 * r.WindowInsts
+	warm = r.WarmInsts
+	if warm == 0 {
+		if r.WarmMode == core.WarmFunctional {
+			warm = -1 // full history: checkpoints make it near-free
+		} else {
+			warm = win / 4
+		}
 	}
-	return r.WindowInsts / 4
+	return win, warm
+}
+
+// sharedCkpt is the process-wide in-memory checkpoint store runners fall
+// back to when no directory is configured: every runner in the process
+// shares one snapshot per (trace, config, boundary), which is exactly the
+// point of content addressing.
+var sharedCkpt, _ = ckpt.Open("")
+
+// checkpoints resolves the runner's warm-state checkpoint store; nil means
+// checkpoints are off (disabled explicitly, or moot because the warm mode
+// is timed). The CkptDir/JournalDir resolution is memoized: the store must
+// be opened once so its in-memory half actually accumulates.
+func (r *Runner) checkpoints() *ckpt.Store {
+	if r.DisableCheckpoints || r.WarmMode != core.WarmFunctional {
+		return nil
+	}
+	if r.CkptStore != nil {
+		return r.CkptStore
+	}
+	r.ckptOnce.Do(func() {
+		dir := r.CkptDir
+		if dir == "" && r.JournalDir != "" {
+			dir = filepath.Join(r.JournalDir, "ckpt")
+		}
+		if dir == "" {
+			r.ckptMemo = sharedCkpt
+			return
+		}
+		st, err := ckpt.Open(dir)
+		if err != nil {
+			// The store is a cache: an unusable directory degrades to the
+			// shared in-memory store instead of failing the sweep.
+			st = sharedCkpt
+		}
+		r.ckptMemo = st
+	})
+	return r.ckptMemo
 }
 
 // workers resolves the effective pool size for n jobs.

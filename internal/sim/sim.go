@@ -48,15 +48,18 @@
 //
 // # Sharding determinism rules
 //
-// With windowing enabled (Runner.WindowInsts > 0), traces longer than the
-// window size execute as deterministic sample windows instead of two full
-// passes: trace.Shard cuts the trace into fixed measured spans, each
-// prefixed by a warm-up interval that executes unmeasured on a fresh core
+// With windowing enabled — explicitly (Runner.WindowInsts > 0) or by the
+// automatic long-trace policy (WindowInsts 0 shards traces of at least
+// autoWindowThreshold instructions; negative opts out) — long traces
+// execute as deterministic sample windows instead of two full passes:
+// trace.Shard cuts the trace into fixed measured spans, each prefixed by a
+// warm-up interval that executes unmeasured on a fresh core
 // (core.RunWindow), and core.MergeWindowResults stitches the per-window
 // results in window order. The rules that keep this deterministic:
 //
 //   - the shard plan is a pure function of (trace length, WindowInsts,
-//     WarmInsts) — never of worker count, scheduling or wall clock;
+//     WarmInsts, WarmMode) via Runner.planFor — never of worker count,
+//     scheduling or wall clock;
 //   - each window simulates a fixed instruction span on a Reset core, so a
 //     window's Result depends only on (config, trace bytes, plan);
 //   - stitching always happens in window order, triggered by whichever
@@ -73,18 +76,26 @@
 // close it lands depends on the warm mode (Runner.WarmMode):
 //
 //   - core.WarmFunctional (the default) replays each window's prefix
-//     timing-free (core.WarmReplay), so the default prefix is two windows
-//     of history at a fraction of simulation cost and the stitched numbers
-//     land within low single digits of the whole-pass run (golden-tested
-//     at 5% on workload.LongTrace, and gated in scripts/bench_check.sh);
+//     timing-free (core.WarmReplay), so the default prefix is the window's
+//     entire history and the stitched numbers land within a fraction of a
+//     percent of the whole-pass run (golden-tested on workload.LongTrace,
+//     and gated in scripts/bench_check.sh);
 //   - core.WarmTimed simulates the prefix on the timed engine — every warm
 //     instruction costs a measured one, so affordable prefixes are short
-//     and the stitched IPC is deterministically pessimistic by up to tens
-//     of percent (cross-window cache reuse re-paid as cold-start misses),
-//     converging as windows grow (golden-tested with a 15% tolerance at
-//     window = len/2).
+//     (a quarter window by default) and the stitched IPC is
+//     deterministically pessimistic by up to tens of percent (cross-window
+//     cache reuse re-paid as cold-start misses), converging as windows
+//     grow (golden-tested with a 15% tolerance at window = len/2).
 //
-// Windowing remains opt-in for the evaluation defaults; warm=0 windows and
+// Full-history warm-up is affordable because of the warm-state checkpoint
+// store (internal/ckpt): each window's warm prefix restores the deepest
+// snapshot at a window boundary and replays only the residual tail, so a
+// window start costs O(state size) instead of O(prefix length), and one
+// vcc-independent snapshot per (trace, boundary) is shared across every
+// operating point, worker and — through a shared journal directory —
+// worker process of a sweep. Checkpointing moves work, never numbers: the
+// live-replay reference path (Runner.DisableCheckpoints, -ckpt off) is
+// bit-identical, enforced by an equivalence fuzz. Warm=0 windows and
 // window >= len(trace) stay bit-identical to the unsharded engine in both
 // modes.
 //
@@ -185,12 +196,32 @@ func SetProgress(f func(PointUpdate)) { defaultRunner.Progress = f }
 // 0 disables the guard. Startup-time only, like SetWorkers.
 func SetPointTimeout(d time.Duration) { defaultRunner.PointTimeout = d }
 
-// SetWindow enables sharded long-trace execution on the default runner
-// (the cmd tools' -window/-warm flags); windowInsts 0 disables it, and
-// warmInsts 0 selects the warm-mode default (two windows for functional
-// warm-up, a quarter window for timed), negative the full prefix.
-// Startup-time only, like SetWorkers.
+// SetWindow configures sharded long-trace execution on the default runner
+// (the cmd tools' -window/-warm flags); windowInsts 0 selects automatic
+// windowing of long traces and negative values disable sharding, while
+// warmInsts 0 selects the warm-mode default (the full prefix for
+// functional warm-up, a quarter window for timed), negative the full
+// prefix. Startup-time only, like SetWorkers.
 func SetWindow(windowInsts, warmInsts int) { defaultRunner.WithWindow(windowInsts, warmInsts) }
+
+// SetCheckpoints configures the default runner's warm-state checkpoint
+// store (the cmd tools' -ckpt flag): "" or "auto" keeps the default
+// resolution (JournalDir/ckpt when journaling is on, else a shared
+// in-memory store), "off" selects the live-replay reference path, and any
+// other value roots an on-disk store at that directory. Startup-time only,
+// like SetWorkers.
+func SetCheckpoints(spec string) {
+	switch spec {
+	case "off":
+		defaultRunner.DisableCheckpoints = true
+	case "", "auto":
+		defaultRunner.DisableCheckpoints = false
+		defaultRunner.CkptDir = ""
+	default:
+		defaultRunner.DisableCheckpoints = false
+		defaultRunner.CkptDir = spec
+	}
+}
 
 // SetWarmMode selects the default runner's sample-window warm-up mode (the
 // cmd tools' -warmmode flag). Startup-time only, like SetWorkers.

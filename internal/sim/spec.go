@@ -32,7 +32,9 @@ type SweepSpec struct {
 	// full supported range (circuit.Levels()).
 	LevelsMV []int `json:"levels_mv,omitempty"`
 	// WindowInsts, WarmInsts and WarmMode mirror the Runner fields of the
-	// same names; they are part of every cell's journal key.
+	// same names (0 window = automatic windowing of long traces, negative
+	// = sharding off); they are part of every cell's journal key via the
+	// per-trace resolved plan.
 	WindowInsts int    `json:"window_insts,omitempty"`
 	WarmInsts   int    `json:"warm_insts,omitempty"`
 	WarmMode    string `json:"warm_mode,omitempty"` // "functional" (default) or "timed"
@@ -62,9 +64,6 @@ func (s SweepSpec) Validate() error {
 		if v < circuit.VMin || v > circuit.VMax {
 			return fmt.Errorf("sim: spec: level %dmV outside supported range [%v, %v]", mv, circuit.VMin, circuit.VMax)
 		}
-	}
-	if s.WindowInsts < 0 {
-		return fmt.Errorf("sim: spec: window_insts %d must be >= 0", s.WindowInsts)
 	}
 	if _, err := ParseWarmMode(s.WarmMode); err != nil {
 		return err

@@ -62,6 +62,11 @@ func TestSweepSpecValidateRejects(t *testing.T) {
 	if err := good.Validate(); err != nil {
 		t.Fatalf("minimal spec rejected: %v", err)
 	}
+	optOut := good
+	optOut.WindowInsts = -1
+	if err := optOut.Validate(); err != nil {
+		t.Fatalf("negative window (the sharding opt-out spelling) rejected: %v", err)
+	}
 	for name, mutate := range map[string]func(*SweepSpec){
 		"zero insts":     func(s *SweepSpec) { s.InstsPerTrace = 0 },
 		"huge insts":     func(s *SweepSpec) { s.InstsPerTrace = 1 << 40 },
@@ -70,7 +75,6 @@ func TestSweepSpecValidateRejects(t *testing.T) {
 		"unknown mode":   func(s *SweepSpec) { s.Modes = []string{"turbo"} },
 		"level too low":  func(s *SweepSpec) { s.LevelsMV = []int{300} },
 		"level too high": func(s *SweepSpec) { s.LevelsMV = []int{900} },
-		"neg window":     func(s *SweepSpec) { s.WindowInsts = -5 },
 		"bad warm mode":  func(s *SweepSpec) { s.WarmMode = "psychic" },
 	} {
 		t.Run(name, func(t *testing.T) {

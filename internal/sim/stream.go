@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"lowvcc/internal/circuit"
+	"lowvcc/internal/ckpt"
 	"lowvcc/internal/core"
 	"lowvcc/internal/journal"
 	"lowvcc/internal/trace"
@@ -70,6 +71,11 @@ type cell struct {
 	// off); cached is its replayed entry when the journal already held it.
 	key    string
 	cached *journal.Entry
+	// traceHash, warmKey and winInsts feed the warm-state checkpoint
+	// store: the snapshot family identity and the boundary spacing
+	// (warmKey "" means checkpoints are off for this cell).
+	traceHash, warmKey string
+	winInsts           int
 	// startedNanos is the wall-clock stamp of the cell's first claimed
 	// window (re-armed when a window retries); the per-point timeout
 	// measures from here.
@@ -119,18 +125,25 @@ func (r *Runner) Stream(ctx context.Context, specs []PointSpec) <-chan PointUpda
 	return ch
 }
 
-// cfgHash content-addresses everything a cell's Result depends on besides
-// the trace: the full core configuration, the resolved windowing plan
-// parameters and the engine version.
+// cfgHash content-addresses the trace-independent half of a cell's inputs:
+// the full core configuration and the engine version. The windowing plan
+// joins at the cell key — it resolves per trace (planFor), so it cannot
+// live in a per-point hash.
 func (r *Runner) cfgHash(cfg core.Config) (string, error) {
 	blob, err := json.Marshal(cfg)
 	if err != nil {
 		return "", fmt.Errorf("sim: hashing config: %w", err)
 	}
 	h := sha256.Sum256(blob)
-	return journal.Key(hex.EncodeToString(h[:]),
-		fmt.Sprintf("win=%d warm=%d mode=%d", r.WindowInsts, r.warmInsts(), r.WarmMode),
-		core.EngineVersion), nil
+	return journal.Key(hex.EncodeToString(h[:]), core.EngineVersion), nil
+}
+
+// cellKey assembles a cell's journal content address from its trace hash,
+// point hash and the windowing plan resolved for its trace length.
+func (r *Runner) cellKey(th, pointKey string, n int) string {
+	win, warm := r.planFor(n)
+	return journal.Key(th, pointKey,
+		fmt.Sprintf("win=%d warm=%d mode=%d", win, warm, r.WarmMode))
 }
 
 // traceHash content-addresses a trace's full binary encoding (name and
@@ -160,7 +173,7 @@ func (r *Runner) CellKey(cfg core.Config, tr *trace.Trace) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return journal.Key(th, pointKey), nil
+	return r.cellKey(th, pointKey, len(tr.Insts)), nil
 }
 
 // RunCell runs exactly one (cfg, trace) cell through the stream — with the
@@ -241,11 +254,23 @@ func (r *Runner) stream(ctx context.Context, specs []PointSpec, ch chan<- PointU
 		cell *cell
 		win  int
 	}
+	st := r.checkpoints()
 	var jobs []jobRef
 	var replayed []*cell
 	traceHashes := make(map[*trace.Trace]string)
+	hashOf := func(tr *trace.Trace) (string, error) {
+		th, ok := traceHashes[tr]
+		if !ok {
+			var err error
+			if th, err = traceHash(tr); err != nil {
+				return "", err
+			}
+			traceHashes[tr] = th
+		}
+		return th, nil
+	}
 	for p := range specs {
-		var pointKey string
+		var pointKey, warmKey string
 		if jnl != nil {
 			k, err := r.cfgHash(specs[p].Cfg)
 			if err != nil {
@@ -254,19 +279,21 @@ func (r *Runner) stream(ctx context.Context, specs []PointSpec, ch chan<- PointU
 			}
 			pointKey = k
 		}
+		if st != nil {
+			warmKey = ckpt.WarmConfigKey(specs[p].Cfg)
+		}
 		for ti, tr := range specs[p].Traces {
 			cl := &cell{point: p, traceIdx: ti, name: tr.Name}
-			if jnl != nil {
-				th, ok := traceHashes[tr]
-				if !ok {
-					var err error
-					if th, err = traceHash(tr); err != nil {
-						emit(PointUpdate{Point: -1, Trace: -1, Err: err})
-						return
-					}
-					traceHashes[tr] = th
+			if jnl != nil || st != nil {
+				th, err := hashOf(tr)
+				if err != nil {
+					emit(PointUpdate{Point: -1, Trace: -1, Err: err})
+					return
 				}
-				cl.key = journal.Key(th, pointKey)
+				cl.traceHash = th
+			}
+			if jnl != nil {
+				cl.key = r.cellKey(cl.traceHash, pointKey, len(tr.Insts))
 				if e, hit := jnl.Get(cl.key); hit {
 					cl.cached = e
 					cells = append(cells, cl)
@@ -274,7 +301,10 @@ func (r *Runner) stream(ctx context.Context, specs []PointSpec, ch chan<- PointU
 					continue
 				}
 			}
-			cl.windows = trace.Shard(tr, r.WindowInsts, r.warmInsts())
+			win, warm := r.planFor(len(tr.Insts))
+			cl.winInsts = win
+			cl.warmKey = warmKey
+			cl.windows = trace.Shard(tr, win, warm)
 			cl.results = make([]*core.Result, len(cl.windows))
 			cl.errs = make([]error, len(cl.windows))
 			cl.remaining.Store(int32(len(cl.windows)))
@@ -506,6 +536,20 @@ func (r *Runner) runWindowOnce(ctx context.Context, spec *PointSpec, wc *workerC
 		}
 		if res, err = wc.c.Run(win.Trace); err != nil {
 			return fmt.Errorf("%s: measure %s: %w", spec.Label, win.Trace.Name, err)
+		}
+	} else if st := r.checkpoints(); st != nil && cl.warmKey != "" &&
+		win.Warm > 0 && win.Start == win.Warm {
+		// Sample window with a checkpointable warm prefix: the prefix
+		// starts at the parent trace's first instruction (Start == Warm,
+		// which full-history warm-up guarantees for every window), so its
+		// boundaries are the checkpoint store's — restore the deepest
+		// snapshot, replay only the residual tail, then measure. Identical
+		// results to the live branch below, cheaper warm-up.
+		if err = st.WarmTo(wc.c, cl.traceHash, cl.warmKey, cl.winInsts, win.Trace, win.Warm); err != nil {
+			return fmt.Errorf("%s: window %s: %w", spec.Label, win.Trace.Name, err)
+		}
+		if res, err = wc.c.RunWarmed(win.Trace, win.Warm); err != nil {
+			return fmt.Errorf("%s: window %s: %w", spec.Label, win.Trace.Name, err)
 		}
 	} else {
 		// Sample window: one pass where the warm-up prefix executes

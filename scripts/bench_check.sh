@@ -21,12 +21,15 @@
 #
 # The sharding-bias gate is absolute: BenchmarkShardedLongTrace's
 # shard-bias-% is deterministic simulation output (no wall-clock in it),
-# so HEAD's value is compared against a fixed ceiling.
+# so HEAD's value is compared against a fixed ceiling. Since the warm-state
+# checkpoint store made full-history warm the sharded default the ceiling
+# is 1% (the measured bias is ~0.003%; the old two-window default recorded
+# -2.45%).
 #
 # Fails when a measured rate drops more than the allowed fraction below
 # the baseline (default 20%, override with BENCH_TOLERANCE, e.g.
 # BENCH_TOLERANCE=0.3), or when shard-bias-% exceeds BENCH_BIAS_MAX
-# (default 5).
+# (default 1).
 #
 #   scripts/bench_check.sh
 set -euo pipefail
@@ -34,7 +37,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 tolerance="${BENCH_TOLERANCE:-0.20}"
-bias_max="${BENCH_BIAS_MAX:-5}"
+bias_max="${BENCH_BIAS_MAX:-1}"
 
 # Environments that cannot run the gate at all degrade to a clearly-labeled
 # skip (exit 0) rather than a cryptic failure: the gate's job is catching
@@ -205,7 +208,30 @@ report_journal_overhead() {
     }'
 }
 
+# report_ckpt: informational — checkpoint-restore speedup over the live
+# full-history replay reference and the store's hit rate across the timed
+# loop (recorded in BENCH_8.json). Wall-clock-ratio noise makes these
+# reports, not gates; the correctness side (bit-identity against the
+# reference path) is asserted inside the benchmark itself and in
+# internal/ckpt's tests.
+report_ckpt() {
+    local line speed rate
+    line="$("$head_bin" -test.run '^$' -test.bench '^BenchmarkShardedLongTrace$' -test.benchtime 1x 2>/dev/null |
+        awk '/^Benchmark/ { print }')"
+    speed="$(awk '{ for (i = 1; i < NF; i++) if ($(i+1) == "ckpt-restore-speedup") print $i }' <<<"$line")"
+    rate="$(awk '{ for (i = 1; i < NF; i++) if ($(i+1) == "ckpt-hit-rate-%") print $i }' <<<"$line")"
+    if [[ -z "$speed" ]]; then
+        echo "bench_check: note — BenchmarkShardedLongTrace reports no ckpt-restore-speedup (skipping the report)"
+        return 0
+    fi
+    awk -v s="$speed" -v r="${rate:-0}" 'BEGIN {
+        printf "bench_check: checkpoint restore %.2fx faster than live full-history replay, hit rate %.0f%% (informational)\n", s, r
+    }'
+}
+
 check BenchmarkCoreThroughput "insts/s" 5x required
 check BenchmarkMemBoundThroughput "membound-insts/s" 2x optional
+check BenchmarkShardedLongTrace "sharded-insts/s" 1x optional
 check_bias
 report_journal_overhead
+report_ckpt

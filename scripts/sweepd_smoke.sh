@@ -7,7 +7,10 @@
 #
 #   1. the rendered CSV is byte-identical to the same sweep run locally
 #      (lease reclamation lost nothing, double-counted nothing);
-#   2. SIGTERM drains the daemon gracefully: it verifies the journal and
+#   2. a second, windowed sweep (-window, warm-state checkpoints on: the
+#      workers share snapshots through the journal directory's ckpt/ store)
+#      is also byte-identical to its local run;
+#   3. SIGTERM drains the daemon gracefully: it verifies the journal and
 #      exits 0.
 #
 # Usage: scripts/sweepd_smoke.sh [insts] [seeds]
@@ -85,6 +88,28 @@ if ! diff -u "$WORK/local.csv" "$WORK/daemon.csv"; then
   exit 1
 fi
 echo "sweepd_smoke: daemon CSV identical to local CSV" >&2
+
+# Windowed sweep: sample windows shard each trace, functional warm-up runs
+# through the warm-state checkpoint store (local: in-process shared store;
+# daemon workers: the journal directory's ckpt/ store). Both paths must
+# stitch the same rows.
+WINDOW=5000
+echo "sweepd_smoke: local windowed sweep (-window $WINDOW)" >&2
+"$WORK/vccsweep" -insts "$INSTS" -seeds "$SEEDS" -modes "$MODES" \
+  -window "$WINDOW" -csv > "$WORK/local_win.csv"
+echo "sweepd_smoke: windowed sweep through vccsweep -server" >&2
+if ! "$WORK/vccsweep" -server "$ADDR" -insts "$INSTS" -seeds "$SEEDS" \
+  -modes "$MODES" -window "$WINDOW" -csv > "$WORK/daemon_win.csv" \
+  2> "$WORK/client_win.err"; then
+  echo "sweepd_smoke: FAIL windowed client sweep errored" >&2
+  cat "$WORK/client_win.err" >&2
+  exit 1
+fi
+if ! diff -u "$WORK/local_win.csv" "$WORK/daemon_win.csv"; then
+  echo "sweepd_smoke: FAIL windowed daemon sweep differs from local sweep" >&2
+  exit 1
+fi
+echo "sweepd_smoke: windowed daemon CSV identical to local CSV" >&2
 
 echo "sweepd_smoke: SIGTERM daemon, expecting graceful drain + exit 0" >&2
 kill -TERM "$DAEMON_PID"
