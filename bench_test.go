@@ -11,12 +11,16 @@ package lowvcc_test
 
 import (
 	"context"
+	"fmt"
+	"net/http/httptest"
+	"sync"
 	"testing"
 	"time"
 
 	"lowvcc/internal/circuit"
 	"lowvcc/internal/ckpt"
 	"lowvcc/internal/core"
+	"lowvcc/internal/service"
 	"lowvcc/internal/sim"
 	"lowvcc/internal/trace"
 	"lowvcc/internal/workload"
@@ -441,4 +445,127 @@ func BenchmarkCoreThroughput(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(tr.Len())*float64(b.N)/b.Elapsed().Seconds(), "insts/s")
+}
+
+// waitSweep polls a sweep to its terminal state and fails the benchmark
+// unless it finished clean.
+func waitSweep(b *testing.B, s *service.Scheduler, id string) {
+	b.Helper()
+	for {
+		st, err := s.Status(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Terminal() {
+			if st.State != "done" {
+				b.Fatalf("sweep %s ended %q (done %d, failed %d)", id, st.State, st.Done, st.Failed)
+			}
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// BenchmarkSweepDaemon prices the sweep daemon's result push-down path.
+// The same small grid runs through two deployments per iteration:
+//
+//   - shared: in-process workers journaling straight into the daemon's
+//     directory, the classic shared-filesystem layout;
+//   - pushdown: external-style workers pulling leases over loopback HTTP,
+//     journaling into private directories, and uploading the sealed entry
+//     bytes in Complete through the daemon's content check.
+//
+// pushdown-overhead-% is the extra wall-clock of the wire path over the
+// shared path. It is informational (reported by bench_check.sh, never
+// gated): at this benchmark's deliberately tiny cells the HTTP round
+// trips are a visible fraction of each cell, which is the worst case —
+// real sweeps amortize the same per-cell cost over far longer
+// simulations. Fresh journal directories every iteration keep replay
+// hits from shortcutting either arm.
+func BenchmarkSweepDaemon(b *testing.B) {
+	spec := sim.SweepSpec{
+		InstsPerTrace:   10000,
+		SeedsPerProfile: 1,
+		Modes:           []string{"baseline", "iraw"},
+		LevelsMV:        []int{500},
+	}
+
+	runShared := func() time.Duration {
+		s, _, err := service.NewScheduler(service.SchedulerOpts{
+			JournalDir:  b.TempDir(),
+			JournalSync: false,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		stop := service.RunWorkers(context.Background(), s, 4,
+			service.WorkerOpts{Poll: 2 * time.Millisecond})
+		defer stop()
+		t0 := time.Now()
+		id, err := s.Submit(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		waitSweep(b, s, id)
+		return time.Since(t0)
+	}
+
+	runPushDown := func() time.Duration {
+		srv, _, err := service.NewServer(service.ServerOpts{
+			SchedulerOpts: service.SchedulerOpts{
+				JournalDir:  b.TempDir(),
+				JournalSync: false,
+			},
+			Workers: -1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Scheduler().Close()
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+
+		wctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		var wg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			opts := service.WorkerOpts{
+				Name:       fmt.Sprintf("bench-%d", i),
+				Poll:       2 * time.Millisecond,
+				JournalDir: b.TempDir(), // private: nothing shared with the daemon
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				service.Work(wctx, ts.URL, opts)
+			}()
+		}
+		t0 := time.Now()
+		id, err := srv.Scheduler().Submit(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		waitSweep(b, srv.Scheduler(), id)
+		d := time.Since(t0)
+		cancel()
+		wg.Wait()
+		return d
+	}
+
+	// One untimed warmup of each arm absorbs first-run costs (page cache,
+	// TCP setup, lazy allocations) that would skew a 1x run.
+	runShared()
+	runPushDown()
+
+	b.ResetTimer()
+	var sharedD, pushD time.Duration
+	for i := 0; i < b.N; i++ {
+		sharedD += runShared()
+		pushD += runPushDown()
+	}
+	b.ReportMetric(sharedD.Seconds()/float64(b.N), "shared-sweep-s")
+	b.ReportMetric(pushD.Seconds()/float64(b.N), "pushdown-sweep-s")
+	b.ReportMetric(100*(pushD.Seconds()-sharedD.Seconds())/sharedD.Seconds(),
+		"pushdown-overhead-%")
 }

@@ -52,6 +52,8 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-point wall-clock budget (0 = none)")
 	progress := flag.Bool("progress", false, "print per-point progress lines to stderr as grid cells complete")
 	journal := flag.String("journal", "", "journal completed cells to this directory and replay them on restart")
+	journalBudget := flag.Int64("journal-budget", 0, "journal disk budget in bytes; least-recently-used entries evict past it (0 = unbounded)")
+	ckptBudget := flag.Int64("ckpt-budget", 0, "checkpoint-store disk budget in bytes (0 = unbounded)")
 	retries := flag.Int("retries", 0, "retry transiently-failed cells (timeouts) this many times")
 	retryBackoff := flag.Duration("retry-backoff", time.Second, "backoff before the first retry (doubles per attempt)")
 	allowPartial := flag.Bool("allow-partial", false, "keep going past failed cells; streaming tables mark them FAIL(reason)")
@@ -67,7 +69,9 @@ func main() {
 	sim.SetWarmMode(wm)
 	sim.SetPointTimeout(*timeout)
 	sim.SetJournal(*journal)
+	sim.SetJournalBudget(*journalBudget)
 	sim.SetCheckpoints(*ckptSpec)
+	sim.SetCheckpointBudget(*ckptBudget)
 	sim.SetRetries(*retries, *retryBackoff)
 	sim.SetAllowPartial(*allowPartial)
 	if *progress {

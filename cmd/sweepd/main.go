@@ -10,10 +10,12 @@
 //
 //	sweepd -addr 127.0.0.1:7077 -journal /tmp/jnl
 //
-// Join external workers — any number, any time; they share the journal
-// directory with the daemon:
+// Join external workers — any number, any time, from any machine. A
+// worker journals into a private scratch directory and uploads each
+// sealed result in its Complete call (the daemon verifies the bytes'
+// content address before admitting them), so no filesystem is shared:
 //
-//	sweepd -worker -join 127.0.0.1:7077 -journal-check /tmp/jnl
+//	sweepd -worker -join 127.0.0.1:7077
 //
 // Submit a sweep and watch it with curl:
 //
@@ -59,16 +61,27 @@ func main() {
 	fsync := flag.Bool("fsync", true, "fsync journal entries (power-loss durability)")
 	retries := flag.Int("retries", 1, "window-level transient-failure retries per cell execution")
 	retryBackoff := flag.Duration("retry-backoff", time.Second, "backoff before the first retry (doubles, jittered)")
+	journalBudget := flag.Int64("journal-budget", 0, "journal disk budget in bytes; LRU entries evict past it (0 = unbounded)")
+	ckptBudget := flag.Int64("ckpt-budget", 0, "checkpoint-store disk budget in bytes, worker mode (0 = unbounded)")
+	submitRate := flag.Float64("submit-rate", 0, "per-client sweep submissions per second (0 = unlimited)")
+	submitBurst := flag.Int("submit-burst", 2, "per-client submission burst on top of -submit-rate")
+	maxCells := flag.Int("max-cells-per-sweep", 0, "reject any single sweep expanding past this many cells (0 = unlimited)")
 
 	workerMode := flag.Bool("worker", false, "run as an external worker instead of a daemon")
 	join := flag.String("join", "", "daemon address to pull leases from (worker mode)")
 	name := flag.String("name", "", "worker name in leases and events (worker mode; default pid-derived)")
 	poll := flag.Duration("poll", 250*time.Millisecond, "idle poll interval (worker mode)")
+	workerJournal := flag.String("worker-journal", "", "worker's private journal directory (worker mode; default throwaway temp dir)")
 	flag.Parse()
 
 	var err error
 	if *workerMode {
-		err = runWorker(*join, *name, *poll, *cellTimeout, *retries, *retryBackoff)
+		err = runWorker(workerConfig{
+			join: *join, name: *name, journalDir: *workerJournal,
+			poll: *poll, cellTimeout: *cellTimeout,
+			retries: *retries, retryBackoff: *retryBackoff,
+			journalBudget: *journalBudget, ckptBudget: *ckptBudget,
+		})
 	} else {
 		err = runDaemon(daemonConfig{
 			addr: *addr, journalDir: *journalDir, workers: *workers,
@@ -76,6 +89,8 @@ func main() {
 			sweepDeadline: *sweepDeadline, cellTimeout: *cellTimeout,
 			drainTimeout: *drainTimeout, fsync: *fsync,
 			retries: *retries, retryBackoff: *retryBackoff,
+			journalBudget: *journalBudget,
+			submitRate:    *submitRate, submitBurst: *submitBurst, maxCells: *maxCells,
 		})
 	}
 	if err != nil {
@@ -94,6 +109,9 @@ type daemonConfig struct {
 	fsync                      bool
 	retries                    int
 	retryBackoff               time.Duration
+	journalBudget              int64
+	submitRate                 float64
+	submitBurst, maxCells      int
 }
 
 func runDaemon(cfg daemonConfig) error {
@@ -102,12 +120,16 @@ func runDaemon(cfg daemonConfig) error {
 	}
 	srv, warn, err := service.NewServer(service.ServerOpts{
 		SchedulerOpts: service.SchedulerOpts{
-			JournalDir:     cfg.journalDir,
-			LeaseTTL:       cfg.leaseTTL,
-			MaxQueuedCells: cfg.maxQueue,
-			MaxAttempts:    cfg.maxAttempts,
-			SweepDeadline:  cfg.sweepDeadline,
-			JournalSync:    cfg.fsync,
+			JournalDir:       cfg.journalDir,
+			LeaseTTL:         cfg.leaseTTL,
+			MaxQueuedCells:   cfg.maxQueue,
+			MaxAttempts:      cfg.maxAttempts,
+			SweepDeadline:    cfg.sweepDeadline,
+			JournalSync:      cfg.fsync,
+			JournalBudget:    cfg.journalBudget,
+			SubmitRate:       cfg.submitRate,
+			SubmitBurst:      cfg.submitBurst,
+			MaxCellsPerSweep: cfg.maxCells,
 		},
 		Workers:      cfg.workers,
 		CellTimeout:  cfg.cellTimeout,
@@ -173,22 +195,33 @@ func runDaemon(cfg daemonConfig) error {
 	return nil
 }
 
-func runWorker(join, name string, poll, cellTimeout time.Duration, retries int, retryBackoff time.Duration) error {
-	if join == "" {
+type workerConfig struct {
+	join, name, journalDir    string
+	poll, cellTimeout         time.Duration
+	retries                   int
+	retryBackoff              time.Duration
+	journalBudget, ckptBudget int64
+}
+
+func runWorker(cfg workerConfig) error {
+	if cfg.join == "" {
 		return fmt.Errorf("-worker requires -join <daemon address>")
 	}
-	if name == "" {
-		name = fmt.Sprintf("worker-%d", os.Getpid())
+	if cfg.name == "" {
+		cfg.name = fmt.Sprintf("worker-%d", os.Getpid())
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
-	fmt.Fprintf(os.Stderr, "sweepd: worker %s pulling from %s\n", name, join)
-	err := service.Work(ctx, join, service.WorkerOpts{
-		Name:         name,
-		Poll:         poll,
-		CellTimeout:  cellTimeout,
-		Retries:      retries,
-		RetryBackoff: retryBackoff,
+	fmt.Fprintf(os.Stderr, "sweepd: worker %s pulling from %s\n", cfg.name, cfg.join)
+	err := service.Work(ctx, cfg.join, service.WorkerOpts{
+		Name:          cfg.name,
+		Poll:          cfg.poll,
+		CellTimeout:   cfg.cellTimeout,
+		Retries:       cfg.retries,
+		RetryBackoff:  cfg.retryBackoff,
+		JournalDir:    cfg.journalDir,
+		JournalBudget: cfg.journalBudget,
+		CkptBudget:    cfg.ckptBudget,
 	})
 	if err == context.Canceled {
 		return nil // clean signal-driven exit

@@ -1,0 +1,181 @@
+package ckpt_test
+
+import (
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"lowvcc/internal/circuit"
+	"lowvcc/internal/ckpt"
+	"lowvcc/internal/core"
+)
+
+// dirShape counts the manifest and blob files in a store directory.
+func dirShape(t *testing.T, dir string) (manifests, blobs int) {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		switch {
+		case strings.HasSuffix(e.Name(), ".ckpt"):
+			manifests++
+		case strings.HasPrefix(e.Name(), "blob-"):
+			blobs++
+		}
+	}
+	return
+}
+
+// TestBudgetEvictsSnapshotsLRU: squeezing the byte budget evicts whole
+// snapshots oldest-use first, GCs blobs whose last referencing manifest
+// went with them, and a sweep warmed through the shrunken store remains
+// result-identical to a live replay (eviction costs work, never results).
+func TestBudgetEvictsSnapshotsLRU(t *testing.T) {
+	tr := testTrace(t)
+	cfg := core.DefaultConfig(500, circuit.ModeIRAW)
+	th := "budget-trace"
+	wk := ckpt.WarmConfigKey(cfg)
+	dir := t.TempDir()
+
+	st, err := ckpt.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.SetBudget(1 << 40) // activate tracking before any flush
+	c := core.MustNew(cfg)
+	const interval, n = 5000, 20000
+	if err := st.WarmTo(c, th, wk, interval, tr, n); err != nil {
+		t.Fatal(err)
+	}
+	manifests, blobs := dirShape(t, dir)
+	if manifests != n/interval || blobs == 0 {
+		t.Fatalf("dir holds %d manifests / %d blobs, want %d manifests", manifests, blobs, n/interval)
+	}
+	full := st.DiskUsage()
+	if full <= 0 {
+		t.Fatalf("DiskUsage = %d after %d snapshots", full, manifests)
+	}
+
+	// Squeeze: force at least one eviction. The shallowest boundary is the
+	// least recently flushed, so it goes first.
+	st.SetBudget(full - 1)
+	if s := st.Stats(); s.Evictions == 0 {
+		t.Fatal("no evictions after squeezing below usage")
+	}
+	if st.DiskUsage() > full-1 {
+		t.Errorf("DiskUsage %d over budget %d", st.DiskUsage(), full-1)
+	}
+	// A fresh store over the directory sees the survivors only; the
+	// deepest (most recently used) boundary must be among them.
+	st2, err := ckpt.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st2.Get(ckpt.SnapshotKey(th, wk, n)); !ok {
+		t.Error("most recently used snapshot was evicted")
+	}
+	if _, ok := st2.Get(ckpt.SnapshotKey(th, wk, interval)); ok {
+		t.Error("LRU snapshot survived the squeeze")
+	}
+
+	// Warming through the evicted store must still equal a live replay.
+	warmed := core.MustNew(cfg)
+	if err := st2.WarmTo(warmed, th, wk, interval, tr, n); err != nil {
+		t.Fatal(err)
+	}
+	got, err := warmed.RunWarmed(tr, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := core.MustNew(cfg)
+	if err := live.WarmReplay(tr, n); err != nil {
+		t.Fatal(err)
+	}
+	want, err := live.RunWarmed(tr, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("warmed run through evicted store differs from live replay")
+	}
+}
+
+// TestBudgetBlobRefcount: a blob shared by several manifests survives
+// until its last referencing manifest is evicted; evicting everything
+// leaves an empty directory (no orphan blobs).
+func TestBudgetBlobRefcount(t *testing.T) {
+	tr := testTrace(t)
+	cfg := core.DefaultConfig(500, circuit.ModeIRAW)
+	dir := t.TempDir()
+	st, err := ckpt.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.SetBudget(1 << 40)
+	// Two boundaries one instruction apart share most component blobs
+	// (TestBlobDedup's arrangement).
+	c := core.MustNew(cfg)
+	if err := st.WarmTo(c, "t", "w", 1, tr, 2); err != nil {
+		t.Fatal(err)
+	}
+	if m, _ := dirShape(t, dir); m != 2 {
+		t.Fatalf("manifests = %d, want 2", m)
+	}
+	full := st.DiskUsage()
+
+	// Evict exactly one snapshot: shared blobs must survive, and the
+	// surviving snapshot must still load from a fresh store handle.
+	st.SetBudget(full - 1)
+	if m, b := dirShape(t, dir); m != 1 || b == 0 {
+		t.Fatalf("after one eviction: %d manifests / %d blobs", m, b)
+	}
+	st2, err := ckpt.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st2.Get(ckpt.SnapshotKey("t", "w", 2)); !ok {
+		t.Error("surviving snapshot unloadable after shared-blob eviction")
+	}
+
+	// Evict everything: manifests and blobs all GC'd.
+	st.SetBudget(1)
+	if m, b := dirShape(t, dir); m != 0 || b != 0 {
+		t.Errorf("after full eviction: %d manifests / %d blobs, want 0/0", m, b)
+	}
+}
+
+// TestBudgetSeedsFromDisk: SetBudget on a store opened over an existing
+// directory reconstructs sizes, refcounts and mtime-ordered recency from
+// the files themselves.
+func TestBudgetSeedsFromDisk(t *testing.T) {
+	tr := testTrace(t)
+	cfg := core.DefaultConfig(500, circuit.ModeIRAW)
+	dir := t.TempDir()
+	st, err := ckpt.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := core.MustNew(cfg)
+	if err := st.WarmTo(c, "t", "w", 5000, tr, 15000); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := ckpt.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reopened.SetBudget(1 << 40)
+	if reopened.DiskUsage() <= 0 {
+		t.Fatal("reopened store tracked no usage")
+	}
+	reopened.SetBudget(reopened.DiskUsage() - 1)
+	if s := reopened.Stats(); s.Evictions == 0 {
+		t.Error("no eviction after seeding from disk")
+	}
+	if m, _ := dirShape(t, dir); m >= 3 {
+		t.Errorf("manifests = %d, want < 3 after eviction", m)
+	}
+}

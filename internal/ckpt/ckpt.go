@@ -48,6 +48,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -77,6 +78,10 @@ type Stats struct {
 	// WriteErrors counts failed disk writes and failed captures. The store
 	// is a cache: these cost future re-replays, never correctness.
 	WriteErrors uint64
+	// Evictions counts snapshots removed from disk by the byte-budget
+	// policy (SetBudget). Every snapshot is independently restorable, so
+	// an evicted one degrades to a live replay, never an error.
+	Evictions uint64
 }
 
 // Store holds warm-state snapshots, in memory and optionally on disk. Safe
@@ -91,6 +96,21 @@ type Store struct {
 	snaps map[string]*core.WarmState
 
 	hits, misses, corrupt, restores, replays, captures, writeErrs atomic.Uint64
+	evictions                                                     atomic.Uint64
+
+	// Disk-budget state (SetBudget); all guarded by bmu. msizes/mblobs
+	// describe manifests, bsizes/brefs the blobs they reference; total is
+	// the tracked on-disk byte count. Populated only while a budget is
+	// active.
+	bmu     sync.Mutex
+	budget  int64
+	total   int64
+	msizes  map[string]int64
+	mblobs  map[string][]string
+	bsizes  map[string]int64
+	brefs   map[string]int
+	lastUse map[string]int64
+	useSeq  int64
 }
 
 // Open returns a store backed by dir; dir "" means memory-only.
@@ -124,6 +144,7 @@ func (s *Store) Stats() Stats {
 		Replays:     s.replays.Load(),
 		Captures:    s.captures.Load(),
 		WriteErrors: s.writeErrs.Load(),
+		Evictions:   s.evictions.Load(),
 	}
 }
 
@@ -180,6 +201,7 @@ func (s *Store) Get(key string) (*core.WarmState, bool) {
 	s.mu.Unlock()
 	if ok {
 		s.hits.Add(1)
+		s.touchSnap(key)
 		return ws, true
 	}
 	if s.dir == "" {
@@ -208,6 +230,7 @@ func (s *Store) Get(key string) (*core.WarmState, bool) {
 	}
 	s.mu.Unlock()
 	s.hits.Add(1)
+	s.touchSnap(key)
 	return ws, true
 }
 
@@ -257,6 +280,9 @@ func (s *Store) drop(key string) {
 	s.mu.Unlock()
 	if s.dir != "" {
 		os.Remove(s.manifestPath(key))
+		s.bmu.Lock()
+		s.forgetLocked(key, false)
+		s.bmu.Unlock()
 	}
 }
 
@@ -366,9 +392,15 @@ func unseal(data []byte) ([]byte, error) {
 // the manifest, all via temp-file + atomic rename.
 func (s *Store) flush(key string, ws *core.WarmState) error {
 	var manifest strings.Builder
+	type blob struct {
+		sum  string
+		size int64
+	}
+	var blobs []blob
 	for _, c := range components(ws) {
 		data, sum := seal(c.data)
 		fmt.Fprintf(&manifest, "%s %s\n", c.name, sum)
+		blobs = append(blobs, blob{sum, int64(len(data))})
 		path := s.blobPath(sum)
 		// Dedup: an intact blob with this hash is this blob. Verify, don't
 		// just stat — trusting a name would let a torn or scrambled file
@@ -384,7 +416,31 @@ func (s *Store) flush(key string, ws *core.WarmState) error {
 		}
 	}
 	data, _ := seal([]byte(manifest.String()))
-	return s.writeFile(s.manifestPath(key), data)
+	if err := s.writeFile(s.manifestPath(key), data); err != nil {
+		return err
+	}
+	s.bmu.Lock()
+	if s.budget > 0 && s.msizes != nil {
+		if _, known := s.msizes[key]; !known {
+			s.msizes[key] = int64(len(data))
+			s.total += int64(len(data))
+			hashes := make([]string, 0, len(blobs))
+			for _, b := range blobs {
+				hashes = append(hashes, b.sum)
+				if s.brefs[b.sum] == 0 {
+					s.bsizes[b.sum] = b.size
+					s.total += b.size
+				}
+				s.brefs[b.sum]++
+			}
+			s.mblobs[key] = hashes
+		}
+		s.useSeq++
+		s.lastUse[key] = s.useSeq
+		s.enforceLocked(key)
+	}
+	s.bmu.Unlock()
+	return nil
 }
 
 // load reads and verifies the manifest and every component blob for key.
@@ -429,6 +485,191 @@ func (s *Store) load(key string) (*core.WarmState, error) {
 		payloads[name] = bp
 	}
 	return assemble(payloads)
+}
+
+// ---- disk budget ----
+
+// SetBudget caps the store's directory at budget bytes of manifests plus
+// blobs. When a flush pushes the total over the cap, whole snapshots are
+// evicted least-recently-used first — manifest removed, then any blob no
+// surviving manifest references (blobs are refcounted, so a component
+// shared across boundaries survives until its last manifest goes). Zero
+// or negative disables the cap. Eviction can never break a restorable
+// boundary chain: every snapshot restores independently and WarmTo
+// probes shallower (ultimately live replay) on a miss, so the worst case
+// is re-replay work, never a wrong result. A nil *Store ignores the call.
+//
+// Accounting assumes this process is the directory's only writer while a
+// budget is active (the sweep daemon's arrangement); other readers just
+// see extra misses.
+func (s *Store) SetBudget(budget int64) {
+	if s == nil || s.dir == "" {
+		return
+	}
+	s.bmu.Lock()
+	defer s.bmu.Unlock()
+	s.budget = budget
+	if budget <= 0 {
+		s.msizes, s.mblobs, s.bsizes, s.brefs, s.lastUse = nil, nil, nil, nil, nil
+		s.total = 0
+		return
+	}
+	if s.msizes == nil {
+		s.scanLocked()
+	}
+	s.enforceLocked("")
+}
+
+// DiskUsage reports the tracked on-disk bytes while a budget is active
+// (0 otherwise).
+func (s *Store) DiskUsage() int64 {
+	if s == nil {
+		return 0
+	}
+	s.bmu.Lock()
+	defer s.bmu.Unlock()
+	return s.total
+}
+
+// touchSnap bumps a snapshot's recency; a no-op unless a budget is
+// active.
+func (s *Store) touchSnap(key string) {
+	s.bmu.Lock()
+	if s.lastUse != nil {
+		if _, ok := s.msizes[key]; ok {
+			s.useSeq++
+			s.lastUse[key] = s.useSeq
+		}
+	}
+	s.bmu.Unlock()
+}
+
+// scanLocked seeds the accounting from the directory: manifests are read
+// (they are one line per component) to recover blob references, recency
+// comes from manifest mtimes, and orphan blobs — referenced by no
+// manifest — are counted with zero refs so enforcement GCs them first.
+func (s *Store) scanLocked() {
+	s.msizes = make(map[string]int64)
+	s.mblobs = make(map[string][]string)
+	s.bsizes = make(map[string]int64)
+	s.brefs = make(map[string]int)
+	s.lastUse = make(map[string]int64)
+	s.total = 0
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	type aged struct {
+		key string
+		mt  int64
+	}
+	var manifests []aged
+	for _, ent := range ents {
+		name := ent.Name()
+		info, ierr := ent.Info()
+		if ierr != nil {
+			continue
+		}
+		switch {
+		case strings.HasSuffix(name, ".ckpt"):
+			key := strings.TrimSuffix(name, ".ckpt")
+			s.msizes[key] = info.Size()
+			s.total += info.Size()
+			manifests = append(manifests, aged{key, info.ModTime().UnixNano()})
+			if raw, rerr := os.ReadFile(filepath.Join(s.dir, name)); rerr == nil {
+				if payload, uerr := unseal(raw); uerr == nil {
+					var hashes []string
+					for _, line := range strings.Split(strings.TrimSuffix(string(payload), "\n"), "\n") {
+						if _, sum, ok := strings.Cut(line, " "); ok {
+							hashes = append(hashes, sum)
+							s.brefs[sum]++
+						}
+					}
+					s.mblobs[key] = hashes
+				}
+			}
+		case strings.HasPrefix(name, "blob-"):
+			sum := strings.TrimPrefix(name, "blob-")
+			s.bsizes[sum] = info.Size()
+			s.total += info.Size()
+		}
+	}
+	sort.Slice(manifests, func(a, b int) bool { return manifests[a].mt < manifests[b].mt })
+	for _, m := range manifests {
+		s.useSeq++
+		s.lastUse[m.key] = s.useSeq
+	}
+}
+
+// enforceLocked GCs orphan blobs, then evicts least-recently-used
+// snapshots (sparing keep, the one just flushed) until the total fits.
+func (s *Store) enforceLocked(keep string) {
+	if s.budget <= 0 || s.msizes == nil {
+		return
+	}
+	if s.total > s.budget {
+		for sum, size := range s.bsizes {
+			if s.brefs[sum] == 0 {
+				if err := os.Remove(s.blobPath(sum)); err == nil || os.IsNotExist(err) {
+					s.total -= size
+					delete(s.bsizes, sum)
+					delete(s.brefs, sum)
+				}
+			}
+		}
+	}
+	if s.total <= s.budget {
+		return
+	}
+	type cand struct {
+		key string
+		use int64
+	}
+	var cands []cand
+	for key, use := range s.lastUse {
+		if key != keep {
+			cands = append(cands, cand{key, use})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].use < cands[b].use })
+	for _, c := range cands {
+		if s.total <= s.budget {
+			return
+		}
+		if err := os.Remove(s.manifestPath(c.key)); err != nil && !os.IsNotExist(err) {
+			continue
+		}
+		s.forgetLocked(c.key, true)
+		s.evictions.Add(1)
+	}
+}
+
+// forgetLocked drops key from the accounting (manifest file already
+// removed by the caller) and, when gcBlobs is set, unlinks blobs whose
+// last reference it held.
+func (s *Store) forgetLocked(key string, gcBlobs bool) {
+	if s.msizes == nil {
+		return
+	}
+	size, ok := s.msizes[key]
+	if !ok {
+		return
+	}
+	s.total -= size
+	delete(s.msizes, key)
+	delete(s.lastUse, key)
+	for _, sum := range s.mblobs[key] {
+		if s.brefs[sum]--; s.brefs[sum] <= 0 {
+			delete(s.brefs, sum)
+			if gcBlobs {
+				if err := os.Remove(s.blobPath(sum)); err == nil || os.IsNotExist(err) {
+					s.total -= s.bsizes[sum]
+					delete(s.bsizes, sum)
+				}
+			}
+		}
+	}
+	delete(s.mblobs, key)
 }
 
 func (s *Store) writeFile(path string, data []byte) error {

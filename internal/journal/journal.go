@@ -41,7 +41,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"lowvcc/internal/core"
@@ -64,6 +66,12 @@ type Stats struct {
 	// WriteErrors counts failed Puts. The journal is a cache: a failed
 	// write costs a future re-simulation, never correctness.
 	WriteErrors uint64
+	// Rejected counts uploads refused by Admit (bad header, checksum or
+	// key mismatch): a byzantine or buggy uploader never lands an entry.
+	Rejected uint64
+	// Evictions counts entries removed by the disk-budget policy
+	// (SetBudget). An evicted entry is a future miss, nothing more.
+	Evictions uint64
 }
 
 // Journal is a directory of immutable cell entries. Safe for concurrent
@@ -74,6 +82,17 @@ type Journal struct {
 	sync atomic.Bool
 
 	hits, misses, corrupt, writeErrs atomic.Uint64
+	rejected, evictions              atomic.Uint64
+
+	// Disk-budget state (SetBudget). sizes/lastUse/pins are only
+	// populated while a budget is active; all are guarded by mu.
+	mu      sync.Mutex
+	budget  int64
+	total   int64
+	sizes   map[string]int64
+	lastUse map[string]int64
+	useSeq  int64
+	pins    map[string]int
 }
 
 // Open creates the journal directory if needed and returns a handle.
@@ -105,6 +124,8 @@ func (j *Journal) Stats() Stats {
 		Misses:      j.misses.Load(),
 		Corrupt:     j.corrupt.Load(),
 		WriteErrors: j.writeErrs.Load(),
+		Rejected:    j.rejected.Load(),
+		Evictions:   j.evictions.Load(),
 	}
 }
 
@@ -154,7 +175,49 @@ func (j *Journal) Get(key string) (*Entry, bool) {
 		return nil, false
 	}
 	j.hits.Add(1)
+	j.touch(key)
 	return e, true
+}
+
+// GetRaw returns the sealed entry file bytes for key — header line plus
+// payload, exactly as stored — after running the same integrity check as
+// Get. This is the upload format for result push-down: a worker ships the
+// sealed bytes to the daemon, which re-verifies them with Admit before
+// admitting the entry into its own journal.
+func (j *Journal) GetRaw(key string) ([]byte, bool) {
+	data, err := os.ReadFile(j.path(key))
+	if err != nil {
+		j.misses.Add(1)
+		return nil, false
+	}
+	if _, err := decode(key, data); err != nil {
+		j.corrupt.Add(1)
+		j.misses.Add(1)
+		return nil, false
+	}
+	j.hits.Add(1)
+	j.touch(key)
+	return data, true
+}
+
+// Admit verifies sealed entry bytes produced elsewhere (GetRaw on another
+// journal, possibly another machine) and publishes them under key. The
+// full check runs before a single byte lands: header magic, payload
+// length, SHA-256 content address, key match, decodability and a non-nil
+// Result. Bytes from a buggy or byzantine uploader are rejected with an
+// error and counted in Stats.Rejected; nothing is written. This is the
+// daemon half of result push-down — the scheduler believes the verified
+// bytes, never the worker.
+func (j *Journal) Admit(key string, data []byte) (*Entry, error) {
+	e, err := decode(key, data)
+	if err != nil {
+		j.rejected.Add(1)
+		return nil, err
+	}
+	if err := j.writeFile(key, data); err != nil {
+		return nil, err
+	}
+	return e, nil
 }
 
 func decode(key string, data []byte) (*Entry, error) {
@@ -261,7 +324,161 @@ func (j *Journal) writeFile(key string, data []byte) error {
 			d.Close()
 		}
 	}
+	j.recordWrite(key, int64(len(data)))
 	return nil
+}
+
+// SetBudget caps the journal directory at budget bytes of entry files.
+// When a Put or Admit pushes the total over the cap, least-recently-used
+// entries are unlinked until it fits again (Stats.Evictions counts them).
+// Zero or negative disables the cap. Pinned keys (Pin) are never evicted,
+// so an in-flight lease's entry cannot vanish between a worker's write and
+// the scheduler's read-back. Because the journal is a cache, eviction is
+// always safe: an evicted entry is re-simulated on the next miss.
+//
+// The accounting assumes this process is the directory's only writer
+// while a budget is active — exactly the sweep daemon's LOCK-guarded
+// arrangement. Readers in other processes are unaffected beyond extra
+// misses.
+func (j *Journal) SetBudget(budget int64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.budget = budget
+	if budget <= 0 {
+		j.sizes, j.lastUse, j.pins, j.total = nil, nil, nil, 0
+		return
+	}
+	if j.sizes == nil {
+		j.scanLocked()
+	}
+	j.enforceLocked("")
+}
+
+// Pin marks key as non-evictable until a matching Unpin; pins are
+// counted, so concurrent leases on the same cell nest.
+func (j *Journal) Pin(key string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.pins == nil {
+		j.pins = make(map[string]int)
+	}
+	j.pins[key]++
+}
+
+// Unpin releases one Pin on key.
+func (j *Journal) Unpin(key string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.pins == nil {
+		return
+	}
+	if j.pins[key]--; j.pins[key] <= 0 {
+		delete(j.pins, key)
+	}
+}
+
+// DiskUsage reports the tracked entry-file bytes while a budget is
+// active (0 otherwise).
+func (j *Journal) DiskUsage() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.total
+}
+
+// touch bumps key's recency; a no-op unless a budget is active.
+func (j *Journal) touch(key string) {
+	j.mu.Lock()
+	if j.lastUse != nil {
+		if _, ok := j.sizes[key]; ok {
+			j.useSeq++
+			j.lastUse[key] = j.useSeq
+		}
+	}
+	j.mu.Unlock()
+}
+
+// recordWrite folds a freshly published entry into the budget accounting
+// and evicts over-budget entries (never the one just written).
+func (j *Journal) recordWrite(key string, size int64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.budget <= 0 || j.sizes == nil {
+		return
+	}
+	j.total += size - j.sizes[key]
+	j.sizes[key] = size
+	j.useSeq++
+	j.lastUse[key] = j.useSeq
+	j.enforceLocked(key)
+}
+
+// scanLocked seeds the accounting from the directory: sizes from a walk,
+// recency from file mtimes (older file = colder entry).
+func (j *Journal) scanLocked() {
+	j.sizes = make(map[string]int64)
+	j.lastUse = make(map[string]int64)
+	j.total = 0
+	ents, err := os.ReadDir(j.dir)
+	if err != nil {
+		return
+	}
+	type aged struct {
+		key string
+		mt  int64
+	}
+	var found []aged
+	for _, ent := range ents {
+		name := ent.Name()
+		if !strings.HasSuffix(name, ".cell") {
+			continue
+		}
+		info, err := ent.Info()
+		if err != nil {
+			continue
+		}
+		key := strings.TrimSuffix(name, ".cell")
+		j.sizes[key] = info.Size()
+		j.total += info.Size()
+		found = append(found, aged{key, info.ModTime().UnixNano()})
+	}
+	sort.Slice(found, func(a, b int) bool { return found[a].mt < found[b].mt })
+	for _, f := range found {
+		j.useSeq++
+		j.lastUse[f.key] = j.useSeq
+	}
+}
+
+// enforceLocked unlinks least-recently-used, unpinned entries until the
+// total fits the budget. keep (the just-written key) is exempt even when
+// unpinned, so a fresh result always survives long enough to be read back.
+func (j *Journal) enforceLocked(keep string) {
+	if j.budget <= 0 || j.total <= j.budget {
+		return
+	}
+	type cand struct {
+		key string
+		use int64
+	}
+	var cands []cand
+	for key, use := range j.lastUse {
+		if key == keep || j.pins[key] > 0 {
+			continue
+		}
+		cands = append(cands, cand{key, use})
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].use < cands[b].use })
+	for _, c := range cands {
+		if j.total <= j.budget {
+			return
+		}
+		if err := os.Remove(j.path(c.key)); err != nil && !os.IsNotExist(err) {
+			continue
+		}
+		j.total -= j.sizes[c.key]
+		delete(j.sizes, c.key)
+		delete(j.lastUse, c.key)
+		j.evictions.Add(1)
+	}
 }
 
 // Verify decodes every entry in the directory through the full integrity

@@ -38,11 +38,13 @@ func (e *LockHeldError) Error() string {
 }
 
 // AcquireLock claims the exclusive-writer lock on dir, creating the
-// directory if needed. The lock is a LOCK file recording the owner's pid
-// and hostname; liveness is checked by signaling the pid, so a lock left
-// behind by a crashed or kill -9'ed daemon is reclaimed (the returned
-// warning is non-empty when that happened — callers should surface it).
-// A lock held by a live process returns a *LockHeldError.
+// directory if needed. The lock is a LOCK file recording the owner's pid,
+// hostname and process start time; liveness is checked by signaling the
+// pid AND comparing the start time (when /proc exposes one), so a lock
+// left behind by a crashed or kill -9'ed daemon is reclaimed even when
+// the kernel has recycled its pid for an unrelated process (the returned
+// warning is non-empty when a reclaim happened — callers should surface
+// it). A lock held by a live process returns a *LockHeldError.
 func AcquireLock(dir string) (*Lock, string, error) {
 	if dir == "" {
 		return nil, "", fmt.Errorf("journal: empty directory")
@@ -60,7 +62,7 @@ func AcquireLock(dir string) (*Lock, string, error) {
 		if err == nil {
 			host, _ := os.Hostname()
 			pid := os.Getpid()
-			if _, werr := fmt.Fprintf(f, "%d %s\n", pid, host); werr != nil {
+			if _, werr := fmt.Fprintf(f, "%d %s %s\n", pid, host, procStartTime(pid)); werr != nil {
 				f.Close()
 				os.Remove(path)
 				return nil, "", fmt.Errorf("journal: writing lock: %w", werr)
@@ -80,12 +82,13 @@ func AcquireLock(dir string) (*Lock, string, error) {
 			// Raced with a concurrent release or reclaim; try again.
 			continue
 		}
-		pid := parseLockPid(data)
-		if pid > 0 && pidAlive(pid) {
+		pid, start := parseLock(data)
+		if pid > 0 && ownerAlive(pid, start) {
 			return nil, "", &LockHeldError{Dir: dir, Pid: pid}
 		}
-		// Stale: the recorded pid is dead (or the file is garbage).
-		// Remove and race for the claim again.
+		// Stale: the recorded pid is dead, was recycled by an unrelated
+		// process (start-time mismatch), or the file is garbage. Remove
+		// and race for the claim again.
 		warning = fmt.Sprintf("journal: reclaimed stale lock %s (held by dead pid %d)", path, pid)
 		os.Remove(path)
 	}
@@ -103,7 +106,7 @@ func (l *Lock) Release() error {
 		}
 		return fmt.Errorf("journal: releasing lock: %w", err)
 	}
-	if pid := parseLockPid(data); pid != l.pid {
+	if pid, _ := parseLock(data); pid != l.pid {
 		return fmt.Errorf("journal: lock %s now held by pid %d, not releasing", l.path, pid)
 	}
 	if err := os.Remove(l.path); err != nil && !errors.Is(err, fs.ErrNotExist) {
@@ -115,18 +118,41 @@ func (l *Lock) Release() error {
 // Path returns the lock file's path.
 func (l *Lock) Path() string { return l.path }
 
-// parseLockPid extracts the owner pid from a LOCK file; 0 for garbage
-// (treated as stale).
-func parseLockPid(data []byte) int {
+// parseLock extracts the owner pid and recorded process start time from a
+// LOCK file. Pid 0 means garbage (treated as stale); an empty start time
+// means a pre-start-time lock format (pid liveness alone decides).
+func parseLock(data []byte) (pid int, start string) {
 	fields := strings.Fields(string(data))
 	if len(fields) == 0 {
-		return 0
+		return 0, ""
 	}
 	pid, err := strconv.Atoi(fields[0])
 	if err != nil || pid <= 0 {
-		return 0
+		return 0, ""
 	}
-	return pid
+	if len(fields) >= 3 {
+		start = fields[2]
+	}
+	return pid, start
+}
+
+// ownerAlive reports whether the recorded lock owner still runs: the pid
+// must name a live process AND, when both the lock and /proc expose a
+// start time, the start times must match. A recycled pid — same number,
+// different process since boot — has a different start time and counts as
+// dead, so a fresh daemon is never wedged by a number collision.
+func ownerAlive(pid int, start string) bool {
+	if !pidAlive(pid) {
+		return false
+	}
+	if start == "" {
+		return true // old lock format: pid liveness is all we recorded
+	}
+	cur := procStartTime(pid)
+	if cur == "" {
+		return true // /proc unreadable (foreign pid, non-Linux): stay safe
+	}
+	return cur == start
 }
 
 // pidAlive reports whether pid names a live process: signal 0 probes
@@ -135,4 +161,28 @@ func parseLockPid(data []byte) int {
 func pidAlive(pid int) bool {
 	err := syscall.Kill(pid, 0)
 	return err == nil || errors.Is(err, syscall.EPERM)
+}
+
+// procStartTime returns the kernel's start-time tick for pid (field 22 of
+// /proc/<pid>/stat), or "" where that is unreadable. The tick counts
+// monotonically since boot, so (pid, starttime) identifies one process
+// incarnation — exactly the token AcquireLock needs to survive pid reuse.
+func procStartTime(pid int) string {
+	data, err := os.ReadFile(fmt.Sprintf("/proc/%d/stat", pid))
+	if err != nil {
+		return ""
+	}
+	// The comm field (2) is parenthesized and may itself contain spaces
+	// or parens; everything after the LAST ')' is space-separated, with
+	// starttime at offset 19 (field 22 overall).
+	s := string(data)
+	i := strings.LastIndexByte(s, ')')
+	if i < 0 {
+		return ""
+	}
+	rest := strings.Fields(s[i+1:])
+	if len(rest) < 20 {
+		return ""
+	}
+	return rest[19]
 }

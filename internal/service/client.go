@@ -22,6 +22,11 @@ import (
 type Client struct {
 	base string
 	hc   *http.Client
+
+	// ClientID, when set, identifies this client to the daemon's per-client
+	// admission control (sent as the X-Client-ID header). Unset, the daemon
+	// falls back to the peer address.
+	ClientID string
 }
 
 // NewClient targets a daemon at baseURL (e.g. "http://127.0.0.1:7077").
@@ -57,6 +62,9 @@ func (c *Client) Submit(ctx context.Context, spec sim.SweepSpec) (string, error)
 		return "", err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if c.ClientID != "" {
+		req.Header.Set("X-Client-ID", c.ClientID)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return "", err
@@ -331,8 +339,14 @@ func (h *httpSource) Heartbeat(ctx context.Context, leaseID string) error {
 	}
 }
 
-func (h *httpSource) Complete(ctx context.Context, leaseID, worker, errMsg string) error {
-	body, err := json.Marshal(map[string]string{"worker": worker, "err": errMsg})
+func (h *httpSource) Complete(ctx context.Context, leaseID, worker, errMsg string, entry []byte) error {
+	// entry is the sealed journal-entry upload (base64 over JSON); the
+	// lease ID in the URL doubles as the request's idempotency token.
+	body, err := json.Marshal(struct {
+		Worker string `json:"worker"`
+		Err    string `json:"err"`
+		Entry  []byte `json:"entry,omitempty"`
+	}{worker, errMsg, entry})
 	if err != nil {
 		return err
 	}

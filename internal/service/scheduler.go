@@ -42,6 +42,26 @@ type SchedulerOpts struct {
 	// JournalSync selects fsync-on-Put for the daemon's journal handle and
 	// for workers (propagated through leases).
 	JournalSync bool
+
+	// JournalBudget, when positive, caps the daemon journal's disk usage
+	// in bytes: least-recently-used entries are evicted to stay under it.
+	// Cells with live leases are pinned and never evicted. 0 = unbounded.
+	JournalBudget int64
+
+	// SubmitRate, when positive, throttles SubmitAs per client to this
+	// many sweeps per second (token bucket, burst SubmitBurst). Clients
+	// over their rate get QuotaError. 0 = no rate limit.
+	SubmitRate float64
+
+	// SubmitBurst is the token bucket's capacity (default 2 when
+	// SubmitRate is set): how many sweeps a quiet client may submit
+	// back-to-back before the rate applies.
+	SubmitBurst int
+
+	// MaxCellsPerSweep, when positive, rejects any single sweep that
+	// expands to more cells than this with QuotaError — one tenant cannot
+	// monopolize the queue with a single giant submission. 0 = unlimited.
+	MaxCellsPerSweep int
 }
 
 func (o SchedulerOpts) withDefaults() SchedulerOpts {
@@ -53,6 +73,9 @@ func (o SchedulerOpts) withDefaults() SchedulerOpts {
 	}
 	if o.MaxAttempts <= 0 {
 		o.MaxAttempts = 5
+	}
+	if o.SubmitBurst <= 0 {
+		o.SubmitBurst = 2
 	}
 	return o
 }
@@ -92,6 +115,17 @@ type leaseState struct {
 	expiry time.Time
 }
 
+// tokenBucket is one client's submission-rate state (SubmitRate/SubmitBurst).
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// completedRing bounds the Complete-dedup memory: how many recently
+// completed lease IDs the scheduler remembers to absorb retried Completes.
+// Far larger than any plausible retry window at normal lease churn.
+const completedRing = 4096
+
 // Scheduler owns the sweep queue and the lease table. It is safe for
 // concurrent use; all methods may be called from HTTP handlers and worker
 // goroutines simultaneously. The scheduler itself never simulates — it
@@ -112,6 +146,16 @@ type Scheduler struct {
 	draining   bool
 	closed     bool
 	seq        int
+
+	// Complete-dedup: lease IDs whose completion was already recorded.
+	// A retried Complete (dropped response, duplicated request) finds its
+	// lease gone but its ID here, and returns success instead of
+	// ErrLeaseLost — the lease ID is the request's idempotency token.
+	completed      map[string]struct{}
+	completedOrder []string // FIFO eviction ring for completed
+
+	// Per-client submission token buckets (SubmitRate).
+	buckets map[string]*tokenBucket
 
 	janitorStop chan struct{}
 	janitorDone chan struct{}
@@ -135,6 +179,9 @@ func NewScheduler(opts SchedulerOpts) (*Scheduler, string, error) {
 		return nil, warn, err
 	}
 	jnl.SetSync(opts.JournalSync)
+	if opts.JournalBudget > 0 {
+		jnl.SetBudget(opts.JournalBudget)
+	}
 	s := &Scheduler{
 		opts:        opts,
 		jnl:         jnl,
@@ -142,6 +189,8 @@ func NewScheduler(opts SchedulerOpts) (*Scheduler, string, error) {
 		now:         time.Now,
 		sweeps:      make(map[string]*sweepJob),
 		leases:      make(map[string]*leaseState),
+		completed:   make(map[string]struct{}),
+		buckets:     make(map[string]*tokenBucket),
 		janitorStop: make(chan struct{}),
 		janitorDone: make(chan struct{}),
 	}
@@ -199,17 +248,41 @@ func expandSpec(id string, spec sim.SweepSpec) ([]Cell, error) {
 // results are already journaled complete instantly as replays — a
 // restarted campaign only pays for the missing cells. Fails fast with
 // BusyError when the queue cannot absorb the new cells and ErrDraining
-// during shutdown.
+// during shutdown. Submit bypasses per-client admission control; remote
+// submissions go through SubmitAs.
 func (s *Scheduler) Submit(spec sim.SweepSpec) (string, error) {
+	return s.submit("", spec)
+}
+
+// SubmitAs is Submit under per-client admission control: the client's
+// token bucket (SubmitRate/SubmitBurst) and the per-sweep cell limit
+// (MaxCellsPerSweep) apply, rejecting with QuotaError. The client ID is
+// whatever the transport trusts — the HTTP layer uses the X-Client-ID
+// header, falling back to the peer address.
+func (s *Scheduler) SubmitAs(client string, spec sim.SweepSpec) (string, error) {
+	return s.submit(client, spec)
+}
+
+func (s *Scheduler) submit(client string, spec sim.SweepSpec) (string, error) {
 	if err := spec.Validate(); err != nil {
 		return "", err
 	}
 
-	// Cheap pre-check so a doomed submission skips the expensive expansion.
+	// Cheap pre-checks so a doomed submission skips the expensive expansion.
 	s.mu.Lock()
 	if s.draining || s.closed {
 		s.mu.Unlock()
 		return "", ErrDraining
+	}
+	if client != "" && s.opts.SubmitRate > 0 {
+		if !s.takeTokenLocked(client) {
+			s.mu.Unlock()
+			return "", &QuotaError{
+				Client:     client,
+				Reason:     fmt.Sprintf("submission rate %.3g/s exceeded", s.opts.SubmitRate),
+				RetryAfter: time.Duration(float64(time.Second) / s.opts.SubmitRate),
+			}
+		}
 	}
 	s.seq++
 	id := fmt.Sprintf("sweep-%d", s.seq)
@@ -218,6 +291,13 @@ func (s *Scheduler) Submit(spec sim.SweepSpec) (string, error) {
 	cells, err := expandSpec(id, spec)
 	if err != nil {
 		return "", err
+	}
+	if max := s.opts.MaxCellsPerSweep; max > 0 && len(cells) > max {
+		return "", &QuotaError{
+			Client:     client,
+			Reason:     fmt.Sprintf("sweep expands to %d cells, per-sweep limit is %d", len(cells), max),
+			RetryAfter: s.retryAfterLocked(), // reads only immutable opts
+		}
 	}
 
 	// Replay scan outside the lock: journal reads are file IO. Entries
@@ -271,6 +351,36 @@ func (s *Scheduler) Submit(spec sim.SweepSpec) (string, error) {
 	return id, nil
 }
 
+// takeTokenLocked draws one submission token from client's bucket,
+// refilling at SubmitRate up to SubmitBurst. Buckets for clients idle
+// long enough to refill fully are pruned when the map grows large.
+func (s *Scheduler) takeTokenLocked(client string) bool {
+	now := s.now()
+	b, ok := s.buckets[client]
+	if !ok {
+		if len(s.buckets) > 8192 {
+			full := float64(s.opts.SubmitBurst)
+			for id, old := range s.buckets {
+				if old.tokens+now.Sub(old.last).Seconds()*s.opts.SubmitRate >= full {
+					delete(s.buckets, id)
+				}
+			}
+		}
+		b = &tokenBucket{tokens: float64(s.opts.SubmitBurst), last: now}
+		s.buckets[client] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * s.opts.SubmitRate
+	if full := float64(s.opts.SubmitBurst); b.tokens > full {
+		b.tokens = full
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
 // retryAfterLocked estimates when queue space should free up: roughly one
 // lease TTL — by then either progress was made or reclamation kicked in.
 func (s *Scheduler) retryAfterLocked() time.Duration {
@@ -312,6 +422,10 @@ func (s *Scheduler) Acquire(worker string) (*Lease, error) {
 				expiry: s.now().Add(s.opts.LeaseTTL),
 			}
 			s.leases[ls.id] = ls
+			// Pin the cell's journal entry for the lease's lifetime so
+			// budget eviction can never race an in-flight completion's
+			// read-back. Unpinned wherever the lease is removed.
+			s.jnl.Pin(job.cells[i].Key)
 			return &Lease{
 				ID:          ls.id,
 				Cell:        job.cells[i],
@@ -325,7 +439,10 @@ func (s *Scheduler) Acquire(worker string) (*Lease, error) {
 }
 
 // Heartbeat extends a live lease by one TTL. ErrLeaseLost means the lease
-// expired and was reclaimed: the worker must abandon the cell.
+// expired: the worker must abandon the cell. A heartbeat that arrives
+// after the TTL but before the janitor's next pass does not revive the
+// lease — it reclaims it inline, so the expiry the worker was promised is
+// exact regardless of janitor cadence.
 func (s *Scheduler) Heartbeat(leaseID string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -333,26 +450,58 @@ func (s *Scheduler) Heartbeat(leaseID string) error {
 	if !ok {
 		return ErrLeaseLost
 	}
+	if s.now().After(ls.expiry) {
+		s.reclaimLocked(ls, fmt.Sprintf("lease %s expired (worker %s heartbeat arrived late)", ls.id, ls.worker))
+		s.idle.Broadcast()
+		return ErrLeaseLost
+	}
 	ls.expiry = s.now().Add(s.opts.LeaseTTL)
 	return nil
 }
 
-// Complete records a cell's outcome. On success the result is read back
-// from the shared journal (through the integrity check) — results never
-// travel in the request. A completion from a lease that was already
-// reclaimed returns ErrLeaseLost and changes nothing: only the current
-// leaseholder counts, so reclamation can never double-count a cell.
-func (s *Scheduler) Complete(leaseID, worker, errMsg string) error {
+// reclaimLocked removes an expired lease and requeues its cell (charging
+// one attempt). Shared by the janitor and the late-heartbeat path.
+func (s *Scheduler) reclaimLocked(ls *leaseState, reason string) {
+	delete(s.leases, ls.id)
+	job := s.sweeps[ls.sweep]
+	s.jnl.Unpin(job.cells[ls.index].Key)
+	if job.terminalState != "" {
+		return
+	}
+	s.failAttemptLocked(job, ls.index, reason)
+}
+
+// Complete records a cell's outcome. On success the result enters the
+// daemon's journal one of two ways: an in-process worker already wrote it
+// there (entry nil — read it back through the integrity check), an
+// external worker uploads the sealed entry bytes (entry non-nil — verify
+// and admit via journal.Admit). Either way the scheduler believes only
+// what the journal's content check vouches for; results never count on a
+// worker's say-so, so a corrupt upload is charged as a failed attempt and
+// the cell requeues.
+//
+// Complete is idempotent per lease: the lease ID doubles as the request's
+// idempotency token, and a retried Complete whose first try was already
+// recorded (dropped response, duplicated request) returns nil without
+// changing anything. ErrLeaseLost means the lease was reclaimed before
+// any completion arrived — only the current leaseholder counts, so
+// reclamation can never double-count a cell.
+func (s *Scheduler) Complete(leaseID, worker, errMsg string, entry []byte) error {
 	s.mu.Lock()
 	ls, ok := s.leases[leaseID]
 	if !ok {
+		_, dup := s.completed[leaseID]
 		s.mu.Unlock()
+		if dup {
+			return nil
+		}
 		return ErrLeaseLost
 	}
 	delete(s.leases, leaseID)
+	s.recordCompletedLocked(leaseID)
 	job := s.sweeps[ls.sweep]
 	cell := job.cells[ls.index]
-	// completing keeps Drain honest while the journal read below runs
+	// completing keeps Drain honest while the journal IO below runs
 	// outside the lock: the lease is gone but the cell isn't recorded yet.
 	s.completing++
 	s.mu.Unlock()
@@ -360,7 +509,15 @@ func (s *Scheduler) Complete(leaseID, worker, errMsg string) error {
 	var res *core.Result
 	readErr := ""
 	if errMsg == "" {
-		if ent, ok := s.jnl.Get(cell.Key); ok {
+		if len(entry) > 0 {
+			// Push-down: verify the uploaded bytes (sha256, length, key)
+			// before they touch the journal.
+			if ent, err := s.jnl.Admit(cell.Key, entry); err == nil {
+				res = ent.Result
+			} else {
+				readErr = fmt.Sprintf("worker %s uploaded a corrupt entry for %s: %v", worker, cell.Key, err)
+			}
+		} else if ent, ok := s.jnl.Get(cell.Key); ok {
 			res = ent.Result
 		} else {
 			readErr = fmt.Sprintf("worker %s reported success but journal has no entry %s", worker, cell.Key)
@@ -369,6 +526,7 @@ func (s *Scheduler) Complete(leaseID, worker, errMsg string) error {
 
 	s.mu.Lock()
 	defer func() {
+		s.jnl.Unpin(cell.Key)
 		s.completing--
 		s.idle.Broadcast()
 		s.mu.Unlock()
@@ -392,6 +550,17 @@ func (s *Scheduler) Complete(leaseID, worker, errMsg string) error {
 		s.maybeFinishLocked(job)
 	}
 	return nil
+}
+
+// recordCompletedLocked remembers a completed lease ID for Complete
+// dedup, evicting the oldest remembered ID past completedRing.
+func (s *Scheduler) recordCompletedLocked(leaseID string) {
+	s.completed[leaseID] = struct{}{}
+	s.completedOrder = append(s.completedOrder, leaseID)
+	if len(s.completedOrder) > completedRing {
+		delete(s.completed, s.completedOrder[0])
+		s.completedOrder = s.completedOrder[1:]
+	}
 }
 
 // failAttemptLocked charges one failed attempt to a cell: requeue while
@@ -598,12 +767,7 @@ func (s *Scheduler) sweepExpired() {
 	sort.Strings(expired)
 	for _, id := range expired {
 		ls := s.leases[id]
-		delete(s.leases, id)
-		job := s.sweeps[ls.sweep]
-		if job.terminalState != "" {
-			continue
-		}
-		s.failAttemptLocked(job, ls.index,
+		s.reclaimLocked(ls,
 			fmt.Sprintf("lease %s expired (worker %s stopped heartbeating)", ls.id, ls.worker))
 	}
 	if len(expired) > 0 {

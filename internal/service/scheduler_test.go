@@ -140,7 +140,7 @@ func completeLease(t *testing.T, s *Scheduler, lease *Lease) {
 	if err := executeCell(context.Background(), lease, WorkerOpts{}); err != nil {
 		t.Fatalf("executing leased cell: %v", err)
 	}
-	if err := s.Complete(lease.ID, "test", ""); err != nil {
+	if err := s.Complete(lease.ID, "test", "", nil); err != nil {
 		t.Fatalf("completing lease: %v", err)
 	}
 }
@@ -244,7 +244,7 @@ func TestLeaseExpiryReclaimsAndNeverDoubleCounts(t *testing.T) {
 		// lease, so probe slower than the TTL.
 		time.Sleep(400 * time.Millisecond)
 	}
-	if err := s.Complete(dead.ID, "doomed", ""); !errors.Is(err, ErrLeaseLost) {
+	if err := s.Complete(dead.ID, "doomed", "", nil); !errors.Is(err, ErrLeaseLost) {
 		t.Fatalf("stale Complete = %v, want ErrLeaseLost", err)
 	}
 
@@ -289,7 +289,7 @@ func TestSuccessWithoutJournalEntryRetries(t *testing.T) {
 		t.Fatalf("acquire: (%v, %v)", lease, err)
 	}
 	// Complete without executing: no journal entry exists.
-	if err := s.Complete(lease.ID, "liar", ""); err != nil {
+	if err := s.Complete(lease.ID, "liar", "", nil); err != nil {
 		t.Fatal(err)
 	}
 	again, err := s.Acquire("honest")
@@ -321,7 +321,7 @@ func TestMaxAttemptsDeclaresCellFailed(t *testing.T) {
 		if lease == nil {
 			break // all cells exhausted
 		}
-		if err := s.Complete(lease.ID, "clumsy", "injected failure"); err != nil {
+		if err := s.Complete(lease.ID, "clumsy", "injected failure", nil); err != nil {
 			t.Fatal(err)
 		}
 		if attempt > total*2+1 {

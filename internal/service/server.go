@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"net"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -122,18 +123,46 @@ func (srv *Server) Drain(ctx context.Context) error {
 	return err
 }
 
+// clientID identifies the submitting client for admission control: the
+// X-Client-ID header when present (trusted deployments name themselves),
+// otherwise the peer host — good enough to keep one greedy machine from
+// starving the rest.
+func clientID(r *http.Request) string {
+	if id := r.Header.Get("X-Client-ID"); id != "" {
+		return id
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// retryAfterSeconds renders d as a Retry-After header value, rounding up
+// so a sub-second quota window still tells the client to wait.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int(d.Seconds() + 0.5)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
 func (srv *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec sim.SweepSpec
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&spec); err != nil {
 		http.Error(w, "bad spec: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	id, err := srv.sched.Submit(spec)
+	id, err := srv.sched.SubmitAs(clientID(r), spec)
 	var busy *BusyError
+	var quota *QuotaError
 	switch {
 	case errors.As(err, &busy):
-		w.Header().Set("Retry-After", strconv.Itoa(int(busy.RetryAfter.Seconds()+0.5)))
+		w.Header().Set("Retry-After", retryAfterSeconds(busy.RetryAfter))
 		http.Error(w, busy.Error(), http.StatusTooManyRequests)
+	case errors.As(err, &quota):
+		w.Header().Set("Retry-After", retryAfterSeconds(quota.RetryAfter))
+		http.Error(w, quota.Error(), http.StatusTooManyRequests)
 	case errors.Is(err, ErrDraining):
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 	case err != nil:
@@ -248,14 +277,18 @@ func (srv *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 }
 
 func (srv *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
+	// Entry is the push-down upload: sealed journal-entry bytes, verified
+	// by the scheduler before admission. The larger body cap covers the
+	// biggest plausible windowed-cell entry with room to spare.
 	var body struct {
 		Worker string `json:"worker"`
 		Err    string `json:"err"`
+		Entry  []byte `json:"entry"`
 	}
 	if r.Body != nil {
-		_ = json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&body)
+		_ = json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&body)
 	}
-	if err := srv.sched.Complete(r.PathValue("id"), body.Worker, body.Err); err != nil {
+	if err := srv.sched.Complete(r.PathValue("id"), body.Worker, body.Err, body.Entry); err != nil {
 		http.Error(w, err.Error(), http.StatusGone)
 		return
 	}

@@ -15,10 +15,17 @@
 // configuration, the windowing plan and the engine version. That key is
 // the system's idempotency token: executing a cell twice is harmless
 // because both executions write the same bytes to the same address, and a
-// replayed cell is indistinguishable from a fresh one. Results never
-// travel over HTTP; workers and daemon share the journal directory, the
-// lease protocol only moves coordination metadata, and the daemon reads
-// each completed cell back through the journal's integrity check.
+// replayed cell is indistinguishable from a fresh one.
+//
+// Results reach the daemon one of two ways, both ending in the daemon's
+// own journal through the full integrity check. In-process workers write
+// the shared journal directly. External workers journal into a private
+// directory and upload the sealed entry bytes in the Complete call
+// (result push-down): the daemon re-derives the sha256 content address
+// and cell key from the uploaded bytes before admitting them
+// (journal.Admit), so a buggy or byzantine worker can corrupt nothing —
+// a bad upload is rejected, charged as a failed attempt, and the cell
+// requeues. No shared filesystem is required to join a fleet.
 //
 // # Leases, heartbeats, reclamation
 //
@@ -36,37 +43,62 @@
 // SchedulerOpts.MaxAttempts is declared failed and the sweep finishes
 // partial, reporting it — a poison cell cannot wedge the service.
 //
-// # Failure semantics
+// # Failure model
 //
-// The deliberate failure modes, and what each costs:
+// The faults the service tolerates by design, and what each degrades to
+// (never a wrong number — at worst re-done work or a reported-failed
+// cell):
 //
-//   - Worker dies mid-cell: lease expires, cell requeues, another worker
-//     re-runs it. Cost: one TTL of latency. The half-written journal entry
-//     (if any) is a temp file the atomic-rename protocol never published.
-//   - Worker completes but the daemon misses it (network): the journal
-//     entry exists; the re-run's Runner replays it instead of
-//     re-simulating. Cost: one lease round-trip.
-//   - Daemon dies: the exclusive-writer LOCK file (internal/journal) is
-//     reclaimed by the next daemon after a liveness check; completed cells
-//     replay from the journal on resubmission, only missing cells
-//     re-simulate.
-//   - Client disconnects mid-stream: its event subscription is dropped;
-//     the sweep runs on. Slow subscribers are disconnected rather than
-//     ever stalling the scheduler (see Scheduler.Subscribe).
+//   - Worker crash / kill -9 mid-cell: lease expires, cell requeues,
+//     another worker re-runs it. Cost: one TTL of latency. A half-written
+//     journal entry is a temp file the atomic-rename protocol never
+//     published.
+//   - Network partition, worker side: heartbeats stop getting through;
+//     after enough misses to guarantee the TTL has passed, the worker
+//     cancels the cell, abandons cleanly and rejoins the poll loop. The
+//     daemon reclaims the lease and requeues the cell. A worker that
+//     finishes just as the partition heals completes normally — its
+//     upload is verified like any other.
+//   - Dropped or duplicated Complete: the lease ID doubles as the
+//     request's idempotency token. Workers retry a failed Complete with
+//     jittered backoff; the daemon remembers recently completed leases
+//     and absorbs duplicates, so a retried Complete after a dropped
+//     response can never double-count a cell. A Complete that never
+//     arrives at all degrades to lease expiry (above).
+//   - Corrupt upload (buggy or byzantine worker): the daemon verifies
+//     the sealed bytes' sha256 content address and cell key before
+//     admitting them; a bad upload is rejected, the attempt is charged,
+//     and the cell requeues under MaxAttempts — the scheduler believes
+//     the verified bytes, never the worker.
+//   - Slow client / disconnect mid-stream: its event subscription is
+//     dropped; the sweep runs on. Slow subscribers are disconnected
+//     rather than ever stalling the scheduler (see Scheduler.Subscribe).
 //   - Queue full: submission fails fast with BusyError (HTTP 429 +
-//     Retry-After) instead of queueing unboundedly.
+//     Retry-After) instead of queueing unboundedly. Per-client token
+//     buckets and the per-sweep cell limit (QuotaError, also 429)
+//     throttle a greedy tenant without starving the rest.
+//   - Disk full / store over budget: journal and checkpoint stores are
+//     caches. Write failures are counted and swallowed (the cell re-runs
+//     later); under -journal-budget/-ckpt-budget the stores evict
+//     least-recently-used entries, never an in-flight lease's cell
+//     (pinned) — an evicted entry is a future re-simulation or live
+//     replay, never an error.
+//   - Daemon dies: the exclusive-writer LOCK file (internal/journal) is
+//     reclaimed by the next daemon after a pid+start-time liveness check
+//     (a recycled pid cannot wedge it); completed cells replay from the
+//     journal on resubmission, only missing cells re-simulate.
 //   - Drain (SIGTERM): no new leases, no new sweeps (503), in-flight cells
 //     finish and journal; still-incomplete sweeps end "interrupted".
 //     Resubmitting the same spec to the next daemon replays the finished
 //     cells and runs only the remainder.
 //
-// Two worker flavors implement the same CellSource-driven loop: in-process
-// goroutine pools inside the daemon (zero-copy, for single-machine use)
-// and external worker processes (sweepd -worker -join <addr>) that pull
-// leases over HTTP and share the journal directory. Correctness never
-// depends on the flavor or the worker count: the acceptance test runs the
-// same sweep with 1, 2 and 4 workers under kill -9 and asserts identical
-// journals.
+// Two worker flavors implement the same CellSource-driven loop:
+// in-process goroutine pools inside the daemon (zero-copy, shared
+// journal) and external worker processes (sweepd -worker -join <addr>)
+// that pull leases over HTTP, journal privately and push results down.
+// Correctness never depends on the flavor or the worker count: the
+// acceptance tests run the same sweep with 1, 2 and 4 workers under
+// kill -9, partitions and corrupt uploads and assert identical journals.
 package service
 
 import (
@@ -111,8 +143,11 @@ type Lease struct {
 	ID   string `json:"id"`
 	Cell Cell   `json:"cell"`
 
-	// JournalDir is where the result must be journaled; daemon and worker
-	// share it (same machine or shared filesystem).
+	// JournalDir is the daemon's journal directory. In-process workers
+	// journal straight into it; external workers ignore it — they journal
+	// into a private directory and upload the sealed entry bytes in
+	// Complete instead (result push-down), so joining a daemon requires
+	// no shared filesystem.
 	JournalDir  string `json:"journal_dir"`
 	JournalSync bool   `json:"journal_sync"`
 
@@ -183,6 +218,22 @@ type BusyError struct {
 func (e *BusyError) Error() string {
 	return fmt.Sprintf("service: queue full (%d cells queued, limit %d); retry after %s",
 		e.Queued, e.Limit, e.RetryAfter)
+}
+
+// QuotaError reports a submission rejected by per-client admission
+// control: the client's token bucket ran dry (submission rate) or the
+// sweep exceeds the per-sweep cell limit. Like BusyError it surfaces as
+// HTTP 429 + Retry-After; unlike BusyError it names the client, so one
+// greedy tenant throttles only itself.
+type QuotaError struct {
+	Client     string
+	Reason     string
+	RetryAfter time.Duration
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("service: client %q over quota: %s; retry after %s",
+		e.Client, e.Reason, e.RetryAfter)
 }
 
 // ErrDraining rejects new work while the daemon shuts down gracefully.

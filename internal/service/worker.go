@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"sync"
 	"time"
 
 	"lowvcc/internal/circuit"
 	"lowvcc/internal/core"
+	"lowvcc/internal/journal"
 	"lowvcc/internal/sim"
 )
 
@@ -23,9 +25,12 @@ type CellSource interface {
 	Acquire(ctx context.Context, worker string) (*Lease, error)
 	// Heartbeat extends the lease; ErrLeaseLost means it was reclaimed.
 	Heartbeat(ctx context.Context, leaseID string) error
-	// Complete reports the cell's outcome (errMsg == "" for success; the
-	// result itself travels through the shared journal, not the protocol).
-	Complete(ctx context.Context, leaseID, worker, errMsg string) error
+	// Complete reports the cell's outcome. errMsg == "" means success.
+	// entry carries the sealed journal-entry bytes for push-down workers
+	// (verified daemon-side before admission); in-process workers pass nil
+	// and the daemon reads its own journal. The lease ID is the request's
+	// idempotency token: retrying a Complete is always safe.
+	Complete(ctx context.Context, leaseID, worker, errMsg string, entry []byte) error
 }
 
 // schedSource adapts a Scheduler to CellSource for in-process workers.
@@ -37,8 +42,8 @@ func (ss schedSource) Acquire(_ context.Context, worker string) (*Lease, error) 
 func (ss schedSource) Heartbeat(_ context.Context, leaseID string) error {
 	return ss.s.Heartbeat(leaseID)
 }
-func (ss schedSource) Complete(_ context.Context, leaseID, worker, errMsg string) error {
-	return ss.s.Complete(leaseID, worker, errMsg)
+func (ss schedSource) Complete(_ context.Context, leaseID, worker, errMsg string, entry []byte) error {
+	return ss.s.Complete(leaseID, worker, errMsg, entry)
 }
 
 // WorkerOpts configures a worker loop.
@@ -62,6 +67,19 @@ type WorkerOpts struct {
 	// Faults forwards a fault-injection plan to the Runner (tests and the
 	// crash-recovery smoke script only).
 	Faults *sim.FaultPlan
+
+	// JournalDir, when set, makes this a push-down worker: cells journal
+	// into this private directory and the sealed entry bytes upload in
+	// Complete, so no filesystem is shared with the daemon. When "", the
+	// worker journals straight into the lease's (daemon's) directory —
+	// the in-process arrangement.
+	JournalDir string
+
+	// JournalBudget and CkptBudget bound the private journal's and the
+	// warm-state checkpoint store's disk usage in bytes (LRU eviction);
+	// 0 = unbounded. Only meaningful with JournalDir set.
+	JournalBudget int64
+	CkptBudget    int64
 }
 
 func (o WorkerOpts) withDefaults() WorkerOpts {
@@ -118,15 +136,33 @@ func runLease(ctx context.Context, src CellSource, lease *Lease, opts WorkerOpts
 	cancel()
 	hb.Wait()
 
+	// Push-down: read the sealed entry bytes back from the private journal
+	// for upload. A read failure here degrades to a nil upload — the
+	// daemon charges the attempt and requeues, exactly as if we crashed.
+	var entry []byte
+	if errMsg == "" && opts.JournalDir != "" {
+		if jnl, err := journal.Open(opts.JournalDir); err == nil {
+			entry, _ = jnl.GetRaw(lease.Cell.Key)
+		}
+	}
+
 	// Report on the parent context: the cell context is dead by design.
 	// A lost lease makes Complete return ErrLeaseLost, which is fine — the
-	// reclaimed cell is someone else's now.
-	rctx, rcancel := context.WithTimeout(context.WithoutCancel(ctx), 5*time.Second)
+	// reclaimed cell is someone else's now. Transport failures retry with
+	// jittered backoff: the lease ID makes retried Completes idempotent,
+	// and a Complete that never lands degrades to lease expiry.
+	rctx, rcancel := context.WithTimeout(context.WithoutCancel(ctx), 20*time.Second)
 	defer rcancel()
-	if err := src.Complete(rctx, lease.ID, opts.Name, errMsg); err != nil && !errors.Is(err, ErrLeaseLost) {
-		// Nothing more to do: if the daemon missed the report the lease
-		// expires and the cell replays from the journal.
-		return
+	for attempt := 1; ; attempt++ {
+		err := src.Complete(rctx, lease.ID, opts.Name, errMsg, entry)
+		if err == nil || errors.Is(err, ErrLeaseLost) || attempt >= 3 || rctx.Err() != nil {
+			return
+		}
+		select {
+		case <-rctx.Done():
+			return
+		case <-time.After(sim.JitteredBackoff(200*time.Millisecond, attempt)):
+		}
 	}
 }
 
@@ -187,9 +223,19 @@ func executeCell(ctx context.Context, lease *Lease, opts WorkerOpts) error {
 	}
 	cfg := core.DefaultConfig(circuit.Millivolts(c.VccMV), mode)
 
+	// Push-down workers journal privately (fsync off: the daemon's journal
+	// is the durability boundary, this one is a scratch cache); in-process
+	// workers share the daemon's directory and inherit its sync policy.
+	dir, sync := lease.JournalDir, lease.JournalSync
+	if opts.JournalDir != "" {
+		dir, sync = opts.JournalDir, false
+	}
+
 	r := c.Spec.NewRunner().
-		WithJournal(lease.JournalDir).
-		WithJournalSync(lease.JournalSync).
+		WithJournal(dir).
+		WithJournalSync(sync).
+		WithJournalBudget(opts.JournalBudget).
+		WithCheckpointBudget(opts.CkptBudget).
 		WithPointTimeout(opts.CellTimeout).
 		WithRetry(opts.Retries, opts.RetryBackoff).
 		WithFaults(opts.Faults)
@@ -232,11 +278,22 @@ func RunWorkers(ctx context.Context, s *Scheduler, n int, opts WorkerOpts) (stop
 }
 
 // Work runs one external worker loop against a daemon at baseURL until the
-// context ends — the body of `sweepd -worker -join <addr>`.
+// context ends — the body of `sweepd -worker -join <addr>`. External
+// workers always push results down: when opts.JournalDir is empty a
+// throwaway private journal directory is created for the process's
+// lifetime, so joining a daemon never requires a shared filesystem.
 func Work(ctx context.Context, baseURL string, opts WorkerOpts) error {
 	src, err := newHTTPSource(baseURL)
 	if err != nil {
 		return err
+	}
+	if opts.JournalDir == "" {
+		dir, err := os.MkdirTemp("", "sweepd-worker-")
+		if err != nil {
+			return fmt.Errorf("service: worker scratch journal: %w", err)
+		}
+		defer os.RemoveAll(dir)
+		opts.JournalDir = dir
 	}
 	workLoop(ctx, src, opts)
 	return ctx.Err()

@@ -39,6 +39,26 @@ const (
 	// process-level crash for kill -9 resume tests. Never fires outside a
 	// test binary's child process by construction of the plan.
 	FaultExit
+	// Network faults, matched by TakeNet at the worker↔daemon call sites
+	// (service.ChaosSource). They select by cell identity and — via
+	// FaultRule.Op — by protocol call, never by timing.
+	//
+	// FaultNetDrop fails one call with a transport error: the request (or
+	// its response) is lost on the wire. The caller's retry policy decides
+	// what happens next; a dropped Complete response is the canonical
+	// double-count hazard the daemon's dedup must absorb.
+	FaultNetDrop
+	// FaultNetDelay sleeps Delay before the call proceeds — a slow or
+	// congested link for timeout testing.
+	FaultNetDelay
+	// FaultNetDup delivers the call twice: the duplicate's result is
+	// discarded, exercising daemon-side idempotency.
+	FaultNetDup
+	// FaultNetSever partitions the worker from the daemon for the rest of
+	// the matched cell's lease: every subsequent call on that lease fails
+	// until the worker abandons the cell. The lease expires daemon-side
+	// and the cell requeues.
+	FaultNetSever
 )
 
 func (k FaultKind) String() string {
@@ -55,6 +75,14 @@ func (k FaultKind) String() string {
 		return "truncate-journal"
 	case FaultExit:
 		return "exit"
+	case FaultNetDrop:
+		return "net-drop"
+	case FaultNetDelay:
+		return "net-delay"
+	case FaultNetDup:
+		return "net-dup"
+	case FaultNetSever:
+		return "net-sever"
 	default:
 		return fmt.Sprintf("FaultKind(%d)", uint8(k))
 	}
@@ -69,6 +97,11 @@ type FaultRule struct {
 	Label     string
 	TraceName string
 	Window    int
+
+	// Op narrows network faults to one protocol call — "acquire",
+	// "heartbeat" or "complete" ("" matches any). Ignored by non-network
+	// kinds.
+	Op string
 
 	Kind FaultKind
 
@@ -98,9 +131,9 @@ func NewFaultPlan(rules ...FaultRule) *FaultPlan {
 	return &FaultPlan{rules: rules, fired: make([]int, len(rules))}
 }
 
-// take returns the first live rule matching (label, trace, window) whose
-// kind passes filter, consuming one firing from its budget.
-func (p *FaultPlan) take(label, traceName string, window int, filter func(FaultKind) bool) *FaultRule {
+// take returns the first live rule matching (op, label, trace, window)
+// whose kind passes filter, consuming one firing from its budget.
+func (p *FaultPlan) take(op, label, traceName string, window int, filter func(FaultKind) bool) *FaultRule {
 	if p == nil {
 		return nil
 	}
@@ -109,6 +142,9 @@ func (p *FaultPlan) take(label, traceName string, window int, filter func(FaultK
 	for i := range p.rules {
 		r := &p.rules[i]
 		if !filter(r.Kind) {
+			continue
+		}
+		if r.Op != "" && r.Op != op {
 			continue
 		}
 		if r.Label != "" && r.Label != label {
@@ -130,14 +166,30 @@ func (p *FaultPlan) take(label, traceName string, window int, filter func(FaultK
 	return nil
 }
 
+// isNetFault reports whether k is one of the network fault kinds.
+func isNetFault(k FaultKind) bool {
+	return k == FaultNetDrop || k == FaultNetDelay || k == FaultNetDup || k == FaultNetSever
+}
+
 // takeWindow matches execution-time faults for one window attempt.
 func (p *FaultPlan) takeWindow(label, traceName string, window int) *FaultRule {
-	return p.take(label, traceName, window, func(k FaultKind) bool { return k != FaultTruncateJournal })
+	return p.take("", label, traceName, window, func(k FaultKind) bool {
+		return k != FaultTruncateJournal && !isNetFault(k)
+	})
 }
 
 // takeJournal matches journal-write faults for one completed cell.
 func (p *FaultPlan) takeJournal(label, traceName string) *FaultRule {
-	return p.take(label, traceName, -1, func(k FaultKind) bool { return k == FaultTruncateJournal })
+	return p.take("", label, traceName, -1, func(k FaultKind) bool { return k == FaultTruncateJournal })
+}
+
+// TakeNet matches network faults for one protocol call (op is "acquire",
+// "heartbeat" or "complete") touching the cell identified by (label,
+// traceName). It consumes one firing from the matched rule's budget and
+// is exported for the service layer's chaos wrapper; simulation code
+// never calls it.
+func (p *FaultPlan) TakeNet(op, label, traceName string) *FaultRule {
+	return p.take(op, label, traceName, -1, isNetFault)
 }
 
 // injectedError is the error FaultError/FaultTransient produce.

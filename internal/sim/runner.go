@@ -95,6 +95,18 @@ type Runner struct {
 	// daemon turns it on; the CLIs leave it off.
 	JournalSync bool
 
+	// JournalBudget, when positive, caps the journal directory at that
+	// many bytes: least-recently-used entries are evicted past the cap
+	// (journal.SetBudget). An evicted entry is a future re-simulation,
+	// never an error. 0 (the default) means unbounded.
+	JournalBudget int64
+
+	// CkptBudget, when positive, caps the on-disk checkpoint store at
+	// that many bytes (ckpt.SetBudget): whole snapshots evict LRU, blobs
+	// go with their last referencing manifest, and an evicted snapshot
+	// degrades to live warm replay. 0 means unbounded.
+	CkptBudget int64
+
 	// AllowPartial switches failure handling from strict (a failed cell
 	// cancels the sweep; the stream ends with one terminal error) to
 	// partial (a failed cell emits its own *CellError update and every
@@ -182,6 +194,20 @@ func (r *Runner) WithJournal(dir string) *Runner {
 // chaining.
 func (r *Runner) WithJournalSync(on bool) *Runner {
 	r.JournalSync = on
+	return r
+}
+
+// WithJournalBudget caps the journal directory at budget bytes (0 =
+// unbounded) and returns r for chaining.
+func (r *Runner) WithJournalBudget(budget int64) *Runner {
+	r.JournalBudget = budget
+	return r
+}
+
+// WithCheckpointBudget caps the on-disk checkpoint store at budget bytes
+// (0 = unbounded) and returns r for chaining.
+func (r *Runner) WithCheckpointBudget(budget int64) *Runner {
+	r.CkptBudget = budget
 	return r
 }
 
@@ -288,6 +314,8 @@ func (r *Runner) checkpoints() *ckpt.Store {
 			// The store is a cache: an unusable directory degrades to the
 			// shared in-memory store instead of failing the sweep.
 			st = sharedCkpt
+		} else if r.CkptBudget > 0 {
+			st.SetBudget(r.CkptBudget)
 		}
 		r.ckptMemo = st
 	})

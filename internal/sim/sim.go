@@ -232,6 +232,17 @@ func SetWarmMode(m core.WarmMode) { defaultRunner.WithWarmMode(m) }
 // SetWorkers.
 func SetJournal(dir string) { defaultRunner.WithJournal(dir) }
 
+// SetJournalBudget caps the default runner's journal directory at budget
+// bytes with LRU eviction (the cmd tools' -journal-budget flag); 0 means
+// unbounded. Startup-time only, like SetWorkers.
+func SetJournalBudget(budget int64) { defaultRunner.WithJournalBudget(budget) }
+
+// SetCheckpointBudget caps the default runner's on-disk checkpoint store
+// at budget bytes with LRU snapshot eviction (the cmd tools'
+// -ckpt-budget flag); 0 means unbounded. Startup-time only, like
+// SetWorkers.
+func SetCheckpointBudget(budget int64) { defaultRunner.WithCheckpointBudget(budget) }
+
 // SetRetries sets the default runner's transient-failure retry policy (the
 // cmd tools' -retries flag). Startup-time only, like SetWorkers.
 func SetRetries(n int, backoff time.Duration) { defaultRunner.WithRetry(n, backoff) }

@@ -242,6 +242,9 @@ func (r *Runner) stream(ctx context.Context, specs []PointSpec, ch chan<- PointU
 			return
 		}
 		jnl.SetSync(r.JournalSync)
+		if r.JournalBudget > 0 {
+			jnl.SetBudget(r.JournalBudget)
+		}
 	}
 
 	// Build the cells and the flat job list in (point, trace, window)
@@ -472,6 +475,15 @@ func jitteredBackoff(backoff time.Duration, attempt int) time.Duration {
 	}
 	half := base / 2
 	return half + rand.N(base-half+1)
+}
+
+// JitteredBackoff exposes the retry sleep policy — exponential in the
+// 1-based attempt number, jittered into [base/2, base] — for the other
+// layers that retry over unreliable transports (the sweep service's
+// worker↔daemon calls), so every backoff in the system herds the same
+// way.
+func JitteredBackoff(backoff time.Duration, attempt int) time.Duration {
+	return jitteredBackoff(backoff, attempt)
 }
 
 // runWindowOnce executes one window attempt in isolation: a panic anywhere

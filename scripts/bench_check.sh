@@ -229,9 +229,28 @@ report_ckpt() {
     }'
 }
 
+# report_pushdown: informational — the extra wall-clock of the daemon's
+# result push-down path (private worker journals + sealed-byte uploads
+# over loopback HTTP) versus the shared-filesystem layout, recorded in
+# BENCH_9.json. The benchmark's tiny cells make this a worst case (the
+# per-cell wire cost is fixed; real sweeps amortize it), and wall-clock
+# ratios of sub-second sweeps are too noisy to gate on.
+report_pushdown() {
+    local ovh
+    ovh="$(run_metric "$head_bin" BenchmarkSweepDaemon "pushdown-overhead-%" 1x)"
+    if [[ -z "$ovh" ]]; then
+        echo "bench_check: note — BenchmarkSweepDaemon reports no pushdown-overhead-% (skipping the report)"
+        return 0
+    fi
+    awk -v ovh="$ovh" 'BEGIN {
+        printf "bench_check: result push-down overhead %.2f%% of shared-FS sweep wall-clock (informational; worst case at benchmark cell size)\n", ovh
+    }'
+}
+
 check BenchmarkCoreThroughput "insts/s" 5x required
 check BenchmarkMemBoundThroughput "membound-insts/s" 2x optional
 check BenchmarkShardedLongTrace "sharded-insts/s" 1x optional
 check_bias
 report_journal_overhead
 report_ckpt
+report_pushdown

@@ -1,16 +1,22 @@
 #!/usr/bin/env bash
 # sweepd_smoke.sh — end-to-end smoke test of the sweep daemon.
 #
-# Stands up a real sweepd process with two external worker processes,
-# submits a sweep through `vccsweep -server`, kill -9's one worker
-# mid-sweep, and asserts that:
+# Stands up a real sweepd process with external worker processes that
+# share NO filesystem with the daemon (each journals into its own private
+# directory and uploads sealed result bytes in Complete), submits sweeps
+# through `vccsweep -server`, and asserts that:
 #
-#   1. the rendered CSV is byte-identical to the same sweep run locally
-#      (lease reclamation lost nothing, double-counted nothing);
-#   2. a second, windowed sweep (-window, warm-state checkpoints on: the
-#      workers share snapshots through the journal directory's ckpt/ store)
-#      is also byte-identical to its local run;
-#   3. SIGTERM drains the daemon gracefully: it verifies the journal and
+#   1. kill -9'ing a worker mid-sweep loses nothing: the rendered CSV is
+#      byte-identical to the same sweep run locally (lease reclamation
+#      lost nothing, double-counted nothing, and every result crossed the
+#      wire through the daemon's content check);
+#   2. a second, windowed sweep (-window, warm-state checkpoints on: each
+#      worker keeps a private ckpt store beside its private journal) is
+#      also byte-identical to its local run;
+#   3. a mid-sweep network partition (SIGSTOP a worker past the lease TTL,
+#      then SIGCONT) plus another kill -9 still converges byte-identical —
+#      the frozen worker abandons its reclaimed cell on thaw and rejoins;
+#   4. SIGTERM drains the daemon gracefully: it verifies the journal and
 #      exits 0.
 #
 # Usage: scripts/sweepd_smoke.sh [insts] [seeds]
@@ -60,12 +66,19 @@ done
 [ -n "$ADDR" ] || { echo "sweepd_smoke: FAIL no serving line" >&2; exit 1; }
 echo "sweepd_smoke: daemon on $ADDR (pid $DAEMON_PID)" >&2
 
-for i in 1 2; do
+# Each worker gets an explicitly private journal directory — disjoint
+# from the daemon's and from each other's, as if on different machines.
+spawn_worker() { # spawn_worker <index>
+  local i="$1"
+  mkdir -p "$WORK/w$i-jnl"
   "$WORK/sweepd" -worker -join "$ADDR" -name "smoke-$i" -poll 20ms \
+    -worker-journal "$WORK/w$i-jnl" \
     2> "$WORK/worker$i.err" &
   WORKER_PIDS+=($!)
   disown $! # keep bash's job reaper from announcing the kill -9
-done
+}
+spawn_worker 1
+spawn_worker 2
 
 echo "sweepd_smoke: submitting sweep through vccsweep -server" >&2
 "$WORK/vccsweep" -server "$ADDR" -insts "$INSTS" -seeds "$SEEDS" \
@@ -89,10 +102,19 @@ if ! diff -u "$WORK/local.csv" "$WORK/daemon.csv"; then
 fi
 echo "sweepd_smoke: daemon CSV identical to local CSV" >&2
 
+# Sanity: push-down really happened — the dead and live workers' private
+# journals hold cells, and they are not the daemon's directory.
+for i in 1 2; do
+  if ! ls "$WORK/w$i-jnl"/*.cell >/dev/null 2>&1; then
+    echo "sweepd_smoke: FAIL worker $i journaled nothing privately (push-down not exercised)" >&2
+    exit 1
+  fi
+done
+
 # Windowed sweep: sample windows shard each trace, functional warm-up runs
 # through the warm-state checkpoint store (local: in-process shared store;
-# daemon workers: the journal directory's ckpt/ store). Both paths must
-# stitch the same rows.
+# daemon workers: each keeps a private ckpt/ beside its private journal).
+# Both paths must stitch the same rows.
 WINDOW=5000
 echo "sweepd_smoke: local windowed sweep (-window $WINDOW)" >&2
 "$WORK/vccsweep" -insts "$INSTS" -seeds "$SEEDS" -modes "$MODES" \
@@ -111,6 +133,52 @@ if ! diff -u "$WORK/local_win.csv" "$WORK/daemon_win.csv"; then
 fi
 echo "sweepd_smoke: windowed daemon CSV identical to local CSV" >&2
 
+# Partition scenario: fresh cells (a different window size keys a new
+# grid), two fresh workers. One is SIGSTOPped past the lease TTL — a
+# network partition as the daemon sees it: heartbeats stop, the lease is
+# reclaimed, the cell requeues. The other is kill -9'ed outright. The
+# frozen worker thaws, abandons its reclaimed cell and rejoins; the sweep
+# must still converge byte-identical to local.
+WINDOW2=4000
+echo "sweepd_smoke: local sweep for the partition scenario (-window $WINDOW2)" >&2
+"$WORK/vccsweep" -insts "$INSTS" -seeds "$SEEDS" -modes "$MODES" \
+  -window "$WINDOW2" -csv > "$WORK/local_part.csv"
+
+# Retire the scenario-1 survivor so the partition scenario's fate rests
+# entirely on the frozen worker rejoining: once its partner is murdered,
+# nobody else can finish the sweep.
+kill -9 "${WORKER_PIDS[1]}" 2>/dev/null || true
+
+spawn_worker 3
+spawn_worker 4
+FROZEN_PID="${WORKER_PIDS[2]}"
+DOOMED_PID="${WORKER_PIDS[3]}"
+
+echo "sweepd_smoke: partition sweep through vccsweep -server" >&2
+"$WORK/vccsweep" -server "$ADDR" -insts "$INSTS" -seeds "$SEEDS" \
+  -modes "$MODES" -window "$WINDOW2" -csv > "$WORK/daemon_part.csv" \
+  2> "$WORK/client_part.err" &
+CLIENT_PID=$!
+
+sleep 1
+echo "sweepd_smoke: SIGSTOP worker $FROZEN_PID (partition), kill -9 worker $DOOMED_PID" >&2
+kill -STOP "$FROZEN_PID"
+kill -9 "$DOOMED_PID"
+sleep 3 # > lease TTL: the frozen worker's lease is reclaimed meanwhile
+echo "sweepd_smoke: SIGCONT worker $FROZEN_PID (partition heals)" >&2
+kill -CONT "$FROZEN_PID"
+
+if ! wait "$CLIENT_PID"; then
+  echo "sweepd_smoke: FAIL partition client sweep errored" >&2
+  cat "$WORK/client_part.err" >&2
+  exit 1
+fi
+if ! diff -u "$WORK/local_part.csv" "$WORK/daemon_part.csv"; then
+  echo "sweepd_smoke: FAIL partition sweep differs from local sweep" >&2
+  exit 1
+fi
+echo "sweepd_smoke: partition-survivor CSV identical to local CSV" >&2
+
 echo "sweepd_smoke: SIGTERM daemon, expecting graceful drain + exit 0" >&2
 kill -TERM "$DAEMON_PID"
 DAEMON_RC=0
@@ -127,4 +195,4 @@ grep -q "journal verified" "$WORK/daemon.err" || {
 }
 DAEMON_PID=""
 
-echo "sweepd_smoke: PASS (worker killed mid-sweep; results identical; clean drain)"
+echo "sweepd_smoke: PASS (no shared FS; kill -9 + partition mid-sweep; results identical; clean drain)"
