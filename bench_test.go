@@ -430,6 +430,51 @@ func BenchmarkMemBoundThroughput(b *testing.B) {
 	b.ReportMetric(slowD.Seconds()/fastD.Seconds(), "membound-speedup")
 }
 
+// BenchmarkWideCore measures simulator speed across the fetch/issue width
+// axis (1, 2, 4) on the warm SpecInt profile. Width 2 is the modelled
+// default (DefaultConfigWidth(v, mode, 2) == DefaultConfig), so its rate
+// tracks BenchmarkCoreThroughput; widths above 2 exercise the batched
+// ready-set probe (scoreboard.IssueReadySet + iq.MayIssueN) that the
+// struct-of-arrays issue loop uses to issue up to Width slots per cycle
+// without per-slot re-probing. The three cores run interleaved inside one
+// iteration so the width1/width2/width4 rates share machine-load noise.
+// All three are informational in bench_check.sh (reported, never gated) —
+// a wider core does more work per simulated instruction, so the absolute
+// rates are not comparable to the gated insts/s; the per-width IPC is
+// deterministic and recorded too so the trajectory JSON shows the wide
+// core actually issuing more.
+func BenchmarkWideCore(b *testing.B) {
+	tr := workload.Generate(workload.SpecInt(), 50000, 1)
+	widths := []int{1, 2, 4}
+	cores := make([]*core.Core, len(widths))
+	durs := make([]time.Duration, len(widths))
+	ipcs := make([]float64, len(widths))
+	for i, w := range widths {
+		cores[i] = core.MustNew(core.DefaultConfigWidth(500, circuit.ModeIRAW, w))
+		r, err := cores[i].Run(tr) // warm-up, and the deterministic IPC
+		if err != nil {
+			b.Fatal(err)
+		}
+		ipcs[i] = r.IPC()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for wi, c := range cores {
+			t0 := time.Now()
+			if _, err := c.Run(tr); err != nil {
+				b.Fatal(err)
+			}
+			durs[wi] += time.Since(t0)
+		}
+	}
+	b.StopTimer()
+	insts := float64(tr.Len()) * float64(b.N)
+	for wi, w := range widths {
+		b.ReportMetric(insts/durs[wi].Seconds(), fmt.Sprintf("width%d-insts/s", w))
+		b.ReportMetric(ipcs[wi], fmt.Sprintf("width%d-ipc", w))
+	}
+}
+
 // BenchmarkCoreThroughput measures raw simulator speed (instructions
 // simulated per second), the practical cost of every experiment above.
 func BenchmarkCoreThroughput(b *testing.B) {

@@ -17,10 +17,13 @@
 //	figures -fig stable     Store-Table sizing ablation
 //	figures -fig det        deterministic BP/RSB testability variant (§4.5)
 //	figures -fig combined   IRAW + Faulty-Bits combination (§4.4)
+//	figures -fig width      core-width ablation (widths 1/2/4 x Vcc x design)
 //	figures -fig plots      ASCII renderings of Figures 1 and 11(a)
 //	figures -fig all        everything above
 //
-// Use -insts/-seeds to scale the workload and -csv for CSV output.
+// Use -insts/-seeds to scale the workload and -csv for CSV output. -width
+// re-runs any figure on a wider (or scalar) core; the width ablation table
+// sweeps widths itself and ignores it.
 package main
 
 import (
@@ -44,6 +47,7 @@ func main() {
 	seeds := flag.Int("seeds", 2, "traces per workload class")
 	mv := flag.Int("mv", 575, "voltage for the breakdown statistic")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	width := flag.Int("width", 0, "fetch/issue width of the simulated core, 1..4 (0 = the modelled default, 2)")
 	workers := flag.Int("workers", 0, "simulation worker goroutines (0 = GOMAXPROCS)")
 	window := flag.Int("window", 0, "shard traces into sample windows of this many instructions (0 = auto for long traces, <0 = off)")
 	warm := flag.Int("warm", 0, "warm-up prefix per sample window (0 = mode default, <0 = full prefix)")
@@ -65,6 +69,7 @@ func main() {
 		os.Exit(2)
 	}
 	sim.SetWorkers(*workers)
+	sim.SetWidth(*width)
 	sim.SetWindow(*window, *warm)
 	sim.SetWarmMode(wm)
 	sim.SetPointTimeout(*timeout)
@@ -96,7 +101,8 @@ func main() {
 
 	spec := sim.SuiteSpec{InstsPerTrace: *insts, SeedsPerProfile: *seeds}
 	g := &gen{csv: *csv, spec: spec, breakdownMV: circuit.Millivolts(*mv),
-		server: *server, window: *window, warm: *warm, warmMode: *warmMode}
+		server: *server, window: *window, warm: *warm, warmMode: *warmMode,
+		width: *width}
 	if *server != "" && *fig != "11b" {
 		fmt.Fprintln(os.Stderr, "figures: -server only supports -fig 11b (the voltage-sweep figure)")
 		os.Exit(2)
@@ -120,6 +126,7 @@ type gen struct {
 	window   int
 	warm     int
 	warmMode string
+	width    int
 }
 
 func (g *gen) suite() []*trace.Trace {
@@ -152,7 +159,7 @@ func (g *gen) run(fig string) error {
 		{"bp", g.bp}, {"overhead", g.overhead}, {"edp450", g.edp450},
 		{"nsweep", g.nsweep}, {"resched", g.resched}, {"gate", g.gate},
 		{"stable", g.stableSizing}, {"det", g.determinism},
-		{"combined", g.combined}, {"plots", g.plots},
+		{"combined", g.combined}, {"width", g.widthAblation}, {"plots", g.plots},
 	}
 	for _, s := range steps {
 		if all || fig == s.name {
@@ -213,6 +220,7 @@ func (g *gen) serverFig11b() error {
 		WindowInsts:     g.window,
 		WarmInsts:       g.warm,
 		WarmMode:        g.warmMode,
+		Width:           g.width,
 	}
 	failed := 0
 	err = cl.StreamLevels(context.Background(), spec,
@@ -429,6 +437,24 @@ func (g *gen) combined() error {
 		"Vcc", "iraw-freq", "combined-freq", "iraw-perf", "combined-perf", "disabled-lines")
 	for _, r := range rows {
 		t.AddRow(r.Vcc, r.IRAWFreqGain, r.CombinedFreqGain, r.IRAWPerfGain, r.CombinedPerfGain, r.DisabledLines)
+	}
+	return g.emit(t)
+}
+
+// width renders the core-width ablation: both designs at fetch/issue
+// widths 1, 2 and 4 across a small voltage ladder. perf-gain is IRAW over
+// the same-width baseline; width-gain is the baseline's speedup over the
+// scalar (width-1) baseline at the same voltage.
+func (g *gen) widthAblation() error {
+	rows, err := sim.WidthAblation(context.Background(), g.suite(),
+		[]int{1, 2, 4}, []circuit.Millivolts{600, 500, 400})
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Ablation: fetch/issue width x Vcc x design",
+		"width", "Vcc", "ipc-base", "ipc-iraw", "perf-gain", "width-gain")
+	for _, r := range rows {
+		t.AddRow(r.Width, r.Vcc, r.IPCBase, r.IPCIRAW, r.PerfGain, r.WidthGain)
 	}
 	return g.emit(t)
 }

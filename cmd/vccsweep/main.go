@@ -31,6 +31,7 @@ func main() {
 	insts := flag.Int("insts", 40000, "instructions per trace")
 	seeds := flag.Int("seeds", 1, "traces per workload class")
 	modesFlag := flag.String("modes", "baseline,iraw", "comma-separated designs to sweep")
+	width := flag.Int("width", 0, "fetch/issue width of the swept core, 1..4 (0 = the modelled default, 2)")
 	csv := flag.Bool("csv", false, "emit CSV")
 	workers := flag.Int("workers", 0, "simulation worker goroutines (0 = GOMAXPROCS)")
 	window := flag.Int("window", 0, "shard traces into sample windows of this many instructions (0 = auto for long traces, <0 = off)")
@@ -53,6 +54,7 @@ func main() {
 		os.Exit(2)
 	}
 	sim.SetWorkers(*workers)
+	sim.SetWidth(*width)
 	sim.SetWindow(*window, *warm)
 	sim.SetWarmMode(wm)
 	sim.SetPointTimeout(*timeout)
@@ -89,6 +91,7 @@ func main() {
 			WindowInsts:     *window,
 			WarmInsts:       *warm,
 			WarmMode:        *warmMode,
+			Width:           *width,
 		}
 		if err := runServer(*server, spec, *modesFlag, *csv); err != nil {
 			fmt.Fprintln(os.Stderr, "vccsweep:", err)

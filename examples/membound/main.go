@@ -27,6 +27,7 @@ import (
 
 func main() {
 	workers := flag.Int("workers", 0, "simulation worker goroutines (0 = GOMAXPROCS)")
+	width := flag.Int("width", 0, "fetch/issue width, 1..4 (0 = the modelled default, 2)")
 	window := flag.Int("window", 0, "sample-window instructions for sharded long traces (0 = off)")
 	warm := flag.Int("warm", 0, "warm-up instructions per sample window (0 = mode default, <0 = full prefix)")
 	warmMode := flag.String("warmmode", "functional", "sample-window warm-up: functional or timed")
@@ -59,8 +60,12 @@ func main() {
 	// metric, not BenchmarkMemBoundThroughput's per-pass insts/s).
 	sweep := func(disableFastPaths bool) (bases, iraws []*lowvcc.Result, instsPerSec float64) {
 		start := time.Now()
-		baseCfg := lowvcc.DefaultConfig(vcc, lowvcc.ModeBaseline)
-		irawCfg := lowvcc.DefaultConfig(vcc, lowvcc.ModeIRAW)
+		w := *width
+		if w == 0 {
+			w = 2 // the modelled default; DefaultConfigWidth(…, 2) == DefaultConfig
+		}
+		baseCfg := lowvcc.DefaultConfigWidth(vcc, lowvcc.ModeBaseline, w)
+		irawCfg := lowvcc.DefaultConfigWidth(vcc, lowvcc.ModeIRAW, w)
 		baseCfg.DisableFastPaths = disableFastPaths
 		irawCfg.DisableFastPaths = disableFastPaths
 		bases, _, err := sim.RunPoint(baseCfg, traces)

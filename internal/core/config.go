@@ -112,6 +112,32 @@
 //
 // internal/ckpt builds the content-addressed store on these primitives;
 // internal/sim routes sharded windows through it by default.
+//
+// # Struct-of-arrays slot state and issue width
+//
+// The in-flight instruction state (fetched but not yet issued) is held
+// struct-of-arrays: parallel slices for opcode, sources, destination,
+// produced register, address, PC, branch outcome and the per-instruction
+// census flags, indexed by a ring-allocated slot id (see slotArrays in
+// core.go for the lifetime invariants). The issue stage therefore scans
+// dense arrays, and the batched ready-set probe
+// (scoreboard.IssueReadySet + iq.MayIssueN) resolves up to Width IQ slots
+// in one scoreboard call per cycle; DisableFastPaths (or the fuzz-only
+// noPair hook) falls back to the sequential per-slot register walk, which
+// is also the path every probe miss re-derives its stall attribution
+// through — Results are bit-identical either way.
+//
+// Config.Width is a real 1..MaxWidth axis: it sizes the fetch group, the
+// fetch buffer (8 entries per width step) and the per-cycle issue bound.
+// Width must not exceed IQ.ICI (the hardware reads only the ICI oldest
+// IQ slots); DefaultConfigWidth widens the IQ defaults alongside the
+// width so any 1..MaxWidth point is one call away. The IssueHist and
+// FetchHist histogram shapes are unchanged: cycles that move more than
+// two instructions fold into bucket 2 (the histograms' role — the
+// issue-0/issue-some split for stall accounting — does not need wider
+// buckets, and recorded goldens stay comparable). Warm state is
+// width-independent (the functional replay never consults Width), so
+// warm-state checkpoints are shared across a width sweep's points.
 package core
 
 import (
@@ -130,7 +156,7 @@ import (
 // bump it. internal/journal keys cached cell results by it, so a bump
 // invalidates every previously journaled entry at once instead of
 // replaying stale numbers.
-const EngineVersion = "lowvcc-engine-7"
+const EngineVersion = "lowvcc-engine-8"
 
 // Config describes one simulated operating point.
 type Config struct {
@@ -139,7 +165,10 @@ type Config struct {
 	Vcc  circuit.Millivolts
 	Mode circuit.Mode
 
-	// Width is the issue width (2 for the modelled core).
+	// Width is the fetch/issue width, in [1, MaxWidth] (2 for the
+	// modelled core). It must not exceed IQ.ICI — the issue stage reads
+	// only the ICI oldest IQ slots; DefaultConfigWidth keeps the two in
+	// step.
 	Width int
 
 	Scoreboard scoreboard.Config
@@ -194,6 +223,10 @@ type Config struct {
 	MaxCycles int64
 }
 
+// MaxWidth is the largest fetch/issue width the engine models: the
+// ready-set probe's scratch and verdict mask are sized for it.
+const MaxWidth = 4
+
 // DefaultConfig returns the modelled core at the given operating point.
 func DefaultConfig(v circuit.Millivolts, mode circuit.Mode) Config {
 	return Config{
@@ -212,12 +245,32 @@ func DefaultConfig(v circuit.Millivolts, mode circuit.Mode) Config {
 	}
 }
 
+// DefaultConfigWidth returns DefaultConfig widened (or narrowed) to the
+// given fetch/issue width, raising the IQ's ICI and AI to match so the
+// wider front end can actually be fed and issued. Width 2 returns exactly
+// DefaultConfig, so journal keys and recorded goldens for the modelled
+// core are unchanged.
+func DefaultConfigWidth(v circuit.Millivolts, mode circuit.Mode, width int) Config {
+	cfg := DefaultConfig(v, mode)
+	cfg.Width = width
+	if width > cfg.IQ.ICI {
+		cfg.IQ.ICI = width
+	}
+	if width > cfg.IQ.AI {
+		cfg.IQ.AI = width
+	}
+	return cfg
+}
+
 func (c Config) validate() error {
 	if !c.Vcc.Valid() {
 		return fmt.Errorf("core: invalid Vcc %v", c.Vcc)
 	}
-	if c.Width < 1 || c.Width > c.IQ.ICI {
-		return fmt.Errorf("core: width %d must be in [1, ICI=%d]", c.Width, c.IQ.ICI)
+	if c.Width < 1 || c.Width > MaxWidth {
+		return fmt.Errorf("core: width %d must be in [1, %d]", c.Width, MaxWidth)
+	}
+	if c.Width > c.IQ.ICI {
+		return fmt.Errorf("core: width %d exceeds IQ.ICI=%d (the issue stage reads only the ICI oldest IQ slots); raise IQ.ICI/AI or build the config with DefaultConfigWidth", c.Width, c.IQ.ICI)
 	}
 	if c.MemLatencyTime <= 0 {
 		return fmt.Errorf("core: MemLatencyTime must be positive")

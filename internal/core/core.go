@@ -63,8 +63,10 @@ type Core struct {
 	// dual-issue fast path, so the stepped engine is the seed reference.
 	noSkip bool
 
-	// noPair disables the dual-issue fast path only (two-slot scoreboard
-	// probe); set by Config.DisableFastPaths and the equivalence fuzz.
+	// noPair disables the batched ready-set fast path only (the multi-slot
+	// scoreboard probe); set by Config.DisableFastPaths and the
+	// equivalence fuzz. Every slot then takes the sequential register
+	// walk, exactly as the seed engine did.
 	noPair bool
 
 	// stop, when non-nil, is polled periodically from the run loop; a
@@ -75,11 +77,12 @@ type Core struct {
 	stop func() error
 
 	// Per-run scratch, owned by the core so back-to-back Run calls (and
-	// Reset-reused cores) allocate nothing on the hot path. delayed and
-	// mispred are sized to the largest trace seen; fetch is a fixed ring.
-	delayed []bool
-	mispred []bool
-	fetch   fetchRing
+	// Reset-reused cores) allocate nothing on the hot path. slots is the
+	// struct-of-arrays in-flight instruction state (see slotArrays); fetch
+	// is a ring of slot ids; probeOps is the ready-set probe's scratch.
+	slots    slotArrays
+	fetch    fetchRing
+	probeOps [MaxWidth]scoreboard.IssueOp
 }
 
 // New builds a core for cfg.
@@ -130,7 +133,8 @@ func (c *Core) reset() error {
 	c.now = 0
 	c.wheel.clear()
 	c.seq = 0
-	c.fetch.clear()
+	c.fetch.init(c.cfg.Width)
+	c.slots.init(len(c.fetch.buf) + c.cfg.IQ.Size)
 
 	if err := c.applyPlan(c.cfg.Vcc); err != nil {
 		return err
@@ -251,35 +255,127 @@ type wake struct {
 	reg   isa.Reg
 }
 
-// fbEntry is one fetched-but-not-allocated instruction.
+// fbEntry is one fetched-but-not-allocated instruction, identified by its
+// in-flight slot id.
 type fbEntry struct {
-	idx     int
+	slot    int
 	readyAt int64
 }
 
-// fetchBufCap models the fetch buffer depth between fetch and allocate.
-const fetchBufCap = 16
-
-// fetchRing is the fixed-capacity fetch buffer. A ring (rather than a
-// reallocated slice) keeps the fetch→allocate path allocation-free.
+// fetchRing is the fetch buffer between fetch and allocate: 8 entries per
+// width step, rounded up to a power of two for the ring arithmetic — 16 at
+// the modelled width 2, exactly the seed's fixed depth. A ring (rather
+// than a reallocated slice) keeps the fetch→allocate path allocation-free.
 type fetchRing struct {
-	buf  [fetchBufCap]fbEntry
+	buf  []fbEntry
+	mask int
 	head int
 	n    int
 }
 
+// init sizes the ring for the configured width and empties it. The buffer
+// is reallocated only when the capacity changes, so Reset-reused cores
+// keep their scratch.
+func (r *fetchRing) init(width int) {
+	c := nextPow2(8 * width)
+	if len(r.buf) != c {
+		r.buf = make([]fbEntry, c)
+		r.mask = c - 1
+	}
+	r.head, r.n = 0, 0
+}
+
 func (r *fetchRing) clear()          { r.head, r.n = 0, 0 }
 func (r *fetchRing) len() int        { return r.n }
+func (r *fetchRing) full() bool      { return r.n == len(r.buf) }
 func (r *fetchRing) front() *fbEntry { return &r.buf[r.head] }
 
 func (r *fetchRing) push(e fbEntry) {
-	r.buf[(r.head+r.n)%fetchBufCap] = e
+	r.buf[(r.head+r.n)&r.mask] = e
 	r.n++
 }
 
 func (r *fetchRing) pop() {
-	r.head = (r.head + 1) % fetchBufCap
+	r.head = (r.head + 1) & r.mask
 	r.n--
+}
+
+// slotArrays is the struct-of-arrays layout for the in-flight instruction
+// state — every instruction fetched but not yet issued. Each field the
+// per-cycle issue stage reads lives in its own parallel slice indexed by
+// slot id, so the batched ready-set probe and the register walk scan dense
+// arrays instead of chasing *trace.Inst pointers, and the per-instruction
+// census flags (delayed, mispred) are per-slot instead of per-trace-index
+// (the seed engine allocated and cleared two trace-length bool slices per
+// run).
+//
+// Invariants:
+//
+//   - slot ids are ring-allocated (free-running counter & mask) at fetch
+//     and freed implicitly, in allocation order, when the instruction
+//     issues — in-order issue guarantees FIFO slot lifetime;
+//   - capacity covers the fetch buffer plus the IQ (the only places a
+//     live slot id is held: fbEntry.slot and iq.Entry.Payload), rounded
+//     up to a power of two, so a live slot is never overwritten;
+//   - NOOP IQ entries consume no slots;
+//   - a slot is valid from its alloc until its issue pops it from the IQ,
+//     which spans the mispred hand-off from predictAtFetch to tryIssue.
+type slotArrays struct {
+	op []isa.Op
+	// ops holds the operand quadruple (sources, destination, installed
+	// producer) — the exact record the batched ready-set probe consumes,
+	// packed 4 bytes per slot so the probe's gather and tryIssue's walk
+	// load one word instead of four parallel bytes.
+	ops     []scoreboard.IssueOp
+	addr    []uint64
+	pc      []uint64
+	taken   []bool
+	mispred []bool // fetch-time misprediction verdict, consumed at issue
+	delayed []bool // already counted in DelayedByRFIRAW (census once per inst)
+	mask    int
+	next    int // free-running allocation counter (slot id = next & mask)
+}
+
+// init sizes the arrays for the configured fetch-buffer + IQ capacity.
+// Like fetchRing.init, it reallocates only on a capacity change.
+func (s *slotArrays) init(capacity int) {
+	c := nextPow2(capacity)
+	if len(s.op) != c {
+		s.op = make([]isa.Op, c)
+		s.ops = make([]scoreboard.IssueOp, c)
+		s.addr = make([]uint64, c)
+		s.pc = make([]uint64, c)
+		s.taken = make([]bool, c)
+		s.mispred = make([]bool, c)
+		s.delayed = make([]bool, c)
+		s.mask = c - 1
+	}
+	s.next = 0
+}
+
+// alloc fills the next slot from a trace instruction and returns its id.
+func (s *slotArrays) alloc(in *trace.Inst) int {
+	i := s.next & s.mask
+	s.next++
+	s.op[i] = in.Op
+	s.ops[i] = scoreboard.IssueOp{
+		S1: in.Src1, S2: in.Src2, D: in.Dst, Prod: producedDst(in),
+	}
+	s.addr[i] = in.Addr
+	s.pc[i] = in.PC
+	s.taken[i] = in.Taken
+	s.mispred[i] = false
+	s.delayed[i] = false
+	return i
+}
+
+// nextPow2 returns the smallest power of two >= n (and >= 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
 }
 
 // dispatchWakes handles every deferred event due this cycle: long-latency
@@ -446,14 +542,6 @@ func (c *Core) run(tr *trace.Trace, measureFrom int) (*Result, error) {
 	measuring := false
 
 	var run stats.Run
-	if cap(c.delayed) < total {
-		c.delayed = make([]bool, total)
-		c.mispred = make([]bool, total)
-	}
-	delayed := c.delayed[:total]
-	mispred := c.mispred[:total]
-	clear(delayed)
-	clear(mispred)
 	c.fetch.clear()
 
 	fetchIdx := 0
@@ -482,9 +570,9 @@ func (c *Core) run(tr *trace.Trace, measureFrom int) (*Result, error) {
 	memoValid := false
 	var memoUntil int64
 	var memoStall stats.StallKind
-	var memoBlocked *trace.Inst
+	memoBlocked := -1
 
-	// prevIssued gates the dual-issue probe: a cycle that follows a
+	// prevIssued gates the ready-set probe: a cycle that follows a
 	// non-issuing cycle almost always has a blocked head, where the probe
 	// would be pure overhead. The gate is a heuristic, never a semantic:
 	// when it skips the probe the sequential walk derives the same outcome.
@@ -522,18 +610,21 @@ func (c *Core) run(tr *trace.Trace, measureFrom int) (*Result, error) {
 		issued := 0
 		memIssued := false
 		stall := stats.StallNone
-		var blocked *trace.Inst // head instruction a failed tryIssue left behind
-		var blockedRetry int64  // earliest cycle its verdict can change (valid with blocked)
+		blocked := -1          // head slot a failed tryIssue left behind
+		var blockedRetry int64 // earliest cycle its verdict can change (valid with blocked >= 0)
 		if memoValid && cycle < memoUntil {
 			stall = memoStall
 			blocked = memoBlocked
 			blockedRetry = memoUntil
 		} else {
 			memoValid = false
-			// pairVerdict carries the younger slot's scoreboard verdict out
-			// of the dual-issue probe below: -1 unknown, else 0/1. It is
-			// consumed only if slot 0 actually issues this cycle.
-			pairVerdict := int8(-1)
+			// verdicts carries the batched ready-set probe's per-slot
+			// scoreboard verdicts across loop iterations: bit 0 is the
+			// current head's verdict as if every older probed slot had
+			// issued; verdictN counts the bits still valid. Verdicts are
+			// consumed only while the older slots actually issue.
+			var verdicts uint32
+			verdictN := 0
 			for issued < c.cfg.Width {
 				if c.q.Occupancy() == 0 {
 					if issued == 0 && issuedTotal < total {
@@ -553,39 +644,58 @@ func (c *Core) run(tr *trace.Trace, measureFrom int) (*Result, error) {
 					c.q.PopOldest()
 					run.IssuedNOOPs++
 					issued++
-					pairVerdict = -1 // the probed pair is no longer slots 0+1
+					verdictN = 0 // the probed slots are no longer the head
 					continue
 				}
-				idx := int(e.Payload)
-				sbOK := pairVerdict
-				pairVerdict = -1
-				if sbOK < 0 && issued == 0 && prevIssued && !c.noPair && !c.noSkip &&
-					c.cfg.Width >= 2 && c.q.MayIssueTwo() {
-					// Dual-issue fast path: resolve both IQ slots in one
-					// scoreboard probe. The younger slot's verdict is
-					// evaluated as if the head had issued, so when the head
-					// does issue, slot 1 reuses it instead of re-probing.
-					if e1 := c.q.Oldest(1); e1 != nil && !e1.NOOP {
-						in0, in1 := &insts[idx], &insts[int(e1.Payload)]
-						okA, okB := c.sb.IssueReadyPair(
-							in0.Src1, in0.Src2, in0.Dst, producedDst(in0),
-							in1.Src1, in1.Src2, in1.Dst)
-						sbOK = 0
-						if okA {
-							sbOK = 1
+				slot := int(e.Payload)
+				sbOK := int8(-1)
+				if verdictN > 0 {
+					sbOK = int8(verdicts & 1)
+					verdicts >>= 1
+					verdictN--
+				} else if issued == 0 && prevIssued && !c.noPair && !c.noSkip && c.cfg.Width >= 2 {
+					// Batched ready-set fast path: resolve up to Width IQ
+					// slots in one scoreboard probe over the SoA operand
+					// arrays. Younger slots' verdicts are evaluated as if
+					// the older ones had issued, so each successor that
+					// reaches the head reuses its bit instead of re-probing.
+					// The occupancy gate is re-applied per pop by the loop
+					// above; k only bounds how many slots are worth probing,
+					// and a k below 2 skips the probe outright (a lone head
+					// takes the sequential walk, exactly as the seed did).
+					k := c.cfg.Width
+					for k >= 2 && !c.q.MayIssueN(k) {
+						k--
+					}
+					if k >= 2 {
+						sl := &c.slots
+						n := 0
+						for i := 0; i < k; i++ {
+							// MayIssueN(k) guarantees occupancy >= k and
+							// DefaultConfigWidth keeps Width <= ICI, so
+							// Oldest(i) is non-nil throughout.
+							ei := c.q.Oldest(i)
+							if ei == nil || ei.NOOP {
+								break
+							}
+							c.probeOps[n] = sl.ops[int(ei.Payload)]
+							n++
 						}
-						pairVerdict = 0
-						if okB {
-							pairVerdict = 1
+						if n >= 2 {
+							verdicts = c.sb.IssueReadySet(c.probeOps[:n])
+							verdictN = n
+							sbOK = int8(verdicts & 1)
+							verdicts >>= 1
+							verdictN--
 						}
 					}
 				}
-				reason, ok := c.tryIssue(cycle, idx, &insts[idx], sbOK, &memIssued, mispred, delayed, &run, &fetchStallUntil, &awaitRedirect)
+				reason, ok := c.tryIssue(cycle, slot, sbOK, &memIssued, &run, &fetchStallUntil, &awaitRedirect)
 				if !ok {
 					if issued == 0 {
 						stall = reason
-						blocked = &insts[idx]
-						blockedRetry = c.issueRetryAt(cycle, blocked)
+						blocked = slot
+						blockedRetry = c.issueRetryAt(cycle, slot)
 						if !c.noSkip { // keep the stepped reference engine truly stepped
 							memoValid, memoUntil, memoStall, memoBlocked = true, blockedRetry, stall, blocked
 						}
@@ -595,7 +705,7 @@ func (c *Core) run(tr *trace.Trace, measureFrom int) (*Result, error) {
 				c.q.PopOldest()
 				issued++
 				issuedTotal++
-				if insts[idx].Op == isa.OpFence {
+				if c.slots.op[slot] == isa.OpFence {
 					draining = false
 				}
 			}
@@ -617,10 +727,10 @@ func (c *Core) run(tr *trace.Trace, measureFrom int) (*Result, error) {
 				if fe.readyAt > cycle {
 					break
 				}
-				c.q.Alloc(cycle, uint64(fe.idx))
+				c.q.Alloc(cycle, uint64(fe.slot))
 				c.fetch.pop()
 				allocs++
-				if insts[fe.idx].Op == isa.OpFence {
+				if c.slots.op[fe.slot] == isa.OpFence {
 					draining = true
 					break
 				}
@@ -640,7 +750,7 @@ func (c *Core) run(tr *trace.Trace, measureFrom int) (*Result, error) {
 		// ===== Fetch stage.
 		fetched := 0
 		if fetchIdx < total && awaitRedirect < 0 && cycle >= fetchStallUntil {
-			for f := 0; f < c.cfg.Width && fetchIdx < total && c.fetch.len() < fetchBufCap; f++ {
+			for f := 0; f < c.cfg.Width && fetchIdx < total && !c.fetch.full(); f++ {
 				in := &insts[fetchIdx]
 				line := in.PC &^ 63
 				if line != lastFetchLine {
@@ -653,8 +763,9 @@ func (c *Core) run(tr *trace.Trace, measureFrom int) (*Result, error) {
 						break
 					}
 				}
-				stop := c.predictAtFetch(cycle, fetchIdx, in, mispred, &fetchStallUntil, &awaitRedirect)
-				c.fetch.push(fbEntry{fetchIdx, cycle + int64(c.cfg.FrontDepth)})
+				slot := c.slots.alloc(in)
+				stop := c.predictAtFetch(cycle, slot, in, &fetchStallUntil, &awaitRedirect)
+				c.fetch.push(fbEntry{slot, cycle + int64(c.cfg.FrontDepth)})
 				fetchIdx++
 				fetched++
 				if stop {
@@ -684,7 +795,7 @@ func (c *Core) run(tr *trace.Trace, measureFrom int) (*Result, error) {
 		if issued == 0 && allocs == 0 && injected == 0 && fetched == 0 &&
 			stall != stats.StallIQGate && !c.noSkip {
 			next := c.wheel.nextAfter(cycle)
-			if blocked != nil && blockedRetry < next {
+			if blocked >= 0 && blockedRetry < next {
 				next = blockedRetry
 			}
 			if !draining && c.fetch.len() > 0 && c.q.Free() > 0 {
@@ -722,14 +833,16 @@ func (c *Core) run(tr *trace.Trace, measureFrom int) (*Result, error) {
 // predictAtFetch consults BP/RSB for control ops, returning whether fetch
 // must stop after this instruction (a predicted-wrong path we do not model:
 // the trace holds only correct-path instructions, so a misprediction is a
-// fetch bubble until the branch resolves at issue).
-func (c *Core) predictAtFetch(cycle int64, idx int, in *trace.Inst, mispred []bool, fetchStallUntil *int64, awaitRedirect *int) bool {
+// fetch bubble until the branch resolves at issue). slot is the
+// instruction's freshly allocated in-flight slot; a misprediction is
+// recorded there for tryIssue's commit half to consume.
+func (c *Core) predictAtFetch(cycle int64, slot int, in *trace.Inst, fetchStallUntil *int64, awaitRedirect *int) bool {
 	switch in.Op {
 	case isa.OpBranch:
 		pred := c.bp.PredictBranch(cycle, in.PC)
 		if pred != in.Taken {
-			mispred[idx] = true
-			*awaitRedirect = idx
+			c.slots.mispred[slot] = true
+			*awaitRedirect = slot
 			return true
 		}
 		// Correctly predicted taken branches end the fetch group (target
@@ -745,8 +858,8 @@ func (c *Core) predictAtFetch(cycle int64, idx int, in *trace.Inst, mispred []bo
 		}
 		if conflict || tgt != in.Addr {
 			c.bp.NoteReturnMispredict()
-			mispred[idx] = true
-			*awaitRedirect = idx
+			c.slots.mispred[slot] = true
+			*awaitRedirect = slot
 			return true
 		}
 		return true
@@ -754,21 +867,24 @@ func (c *Core) predictAtFetch(cycle int64, idx int, in *trace.Inst, mispred []bo
 	return false
 }
 
-// tryIssue attempts to issue one instruction at cycle; on failure it
-// returns the stall attribution. sbOK carries this slot's verdict from the
-// dual-issue scoreboard probe: 1 (ready — the register walk is skipped, the
-// probe already performed it), 0 (not ready) or -1 (no probe ran); anything
-// but 1 takes the register walk, which re-derives the verdict together with
-// its stall attribution.
-func (c *Core) tryIssue(cycle int64, idx int, in *trace.Inst, sbOK int8, memIssued *bool,
-	mispred, delayed []bool, run *stats.Run,
+// tryIssue attempts to issue the instruction in the given in-flight slot at
+// cycle; on failure it returns the stall attribution. sbOK carries the
+// slot's verdict from the batched ready-set probe: 1 (ready — the register
+// walk is skipped, the probe already performed it), 0 (not ready) or -1 (no
+// probe ran); anything but 1 takes the register walk, which re-derives the
+// verdict together with its stall attribution.
+func (c *Core) tryIssue(cycle int64, slot int, sbOK int8, memIssued *bool, run *stats.Run,
 	fetchStallUntil *int64, awaitRedirect *int) (stats.StallKind, bool) {
 
+	s := &c.slots
+	op := s.op[slot]
+	o := s.ops[slot]
+	src1, src2, dst := o.S1, o.S2, o.D
 	if sbOK != 1 {
-		// Source readiness (the scoreboard's shift registers). A pair-probe
+		// Source readiness (the scoreboard's shift registers). A ready-set
 		// verdict of 0 lands here too: the walk re-derives the same failure
 		// with its stall attribution and delayed census.
-		for _, src := range [2]isa.Reg{in.Src1, in.Src2} {
+		for _, src := range [2]isa.Reg{src1, src2} {
 			if src == isa.RegNone {
 				continue
 			}
@@ -776,8 +892,8 @@ func (c *Core) tryIssue(cycle int64, idx int, in *trace.Inst, sbOK int8, memIssu
 				continue
 			}
 			if c.sb.IRAWBlocked(src) {
-				if !delayed[idx] {
-					delayed[idx] = true
+				if !s.delayed[slot] {
+					s.delayed[slot] = true
 					run.DelayedByRFIRAW++
 				}
 				return stats.StallRFIRAW, false
@@ -788,15 +904,15 @@ func (c *Core) tryIssue(cycle int64, idx int, in *trace.Inst, sbOK int8, memIssu
 			return stats.StallRAW, false
 		}
 		// Destination (WAW through the baseline view).
-		if in.Dst != isa.RegNone && !c.sb.WriteReady(in.Dst) {
-			if c.sb.LongPending(in.Dst) {
+		if dst != isa.RegNone && !c.sb.WriteReady(dst) {
+			if c.sb.LongPending(dst) {
 				return stats.StallMemory, false
 			}
 			return stats.StallRAW, false
 		}
 	}
 	// Structural: one memory op per cycle; D-side port holds block issue.
-	if isa.IsMem(in.Op) {
+	if isa.IsMem(op) {
 		if *memIssued {
 			return stats.StallStructural, false
 		}
@@ -808,8 +924,8 @@ func (c *Core) tryIssue(cycle int64, idx int, in *trace.Inst, sbOK int8, memIssu
 		}
 	}
 	// Extra-Bypass write-port FIFO.
-	lat := int64(isa.Latency(in.Op))
-	if in.Dst != isa.RegNone && c.writePipe > 1 {
+	lat := int64(isa.Latency(op))
+	if dst != isa.RegNone && c.writePipe > 1 {
 		w := cycle + lat + c.bypassLvl
 		if w <= c.portBusyUntil {
 			c.rf.NotePortContention(c.portBusyUntil + 1 - w)
@@ -818,36 +934,36 @@ func (c *Core) tryIssue(cycle int64, idx int, in *trace.Inst, sbOK int8, memIssu
 	}
 
 	// ---- Commit to issuing: perform reads and effects.
-	c.readSources(cycle, in)
+	c.readSources(cycle, src1, src2)
 
-	if isa.IsMem(in.Op) {
+	if isa.IsMem(op) {
 		*memIssued = true
 	}
 
 	switch {
-	case in.Op == isa.OpLoad:
-		res := c.mem.Load(cycle, in.Addr)
+	case op == isa.OpLoad:
+		res := c.mem.Load(cycle, s.addr[slot])
 		avail := res.ReadyCycle + lat
-		c.produce(cycle, in.Dst, avail)
-	case in.Op == isa.OpStore:
+		c.produce(cycle, dst, avail)
+	case op == isa.OpStore:
 		c.seq++
-		c.mem.CommitStore(cycle, in.Addr, c.seq)
-	case isa.LongLatency(in.Op):
+		c.mem.CommitStore(cycle, s.addr[slot], c.seq)
+	case isa.LongLatency(op):
 		avail := cycle + lat
-		c.produceLong(cycle, in.Dst, avail)
-	case in.Op == isa.OpBranch:
-		c.bp.UpdateBranch(cycle, in.PC, in.Taken, mispred[idx])
-		if mispred[idx] {
+		c.produceLong(cycle, dst, avail)
+	case op == isa.OpBranch:
+		c.bp.UpdateBranch(cycle, s.pc[slot], s.taken[slot], s.mispred[slot])
+		if s.mispred[slot] {
 			*fetchStallUntil = cycle + int64(c.cfg.MispredictPenalty)
 			*awaitRedirect = -1
 		}
-	case in.Op == isa.OpCall, in.Op == isa.OpReturn:
-		if mispred[idx] {
+	case op == isa.OpCall, op == isa.OpReturn:
+		if s.mispred[slot] {
 			*fetchStallUntil = cycle + int64(c.cfg.MispredictPenalty)
 			*awaitRedirect = -1
 		}
-	case in.Dst != isa.RegNone:
-		c.produce(cycle, in.Dst, cycle+lat)
+	case dst != isa.RegNone:
+		c.produce(cycle, dst, cycle+lat)
 	}
 	return stats.StallNone, true
 }
@@ -881,14 +997,16 @@ func producedDst(in *trace.Inst) isa.Reg {
 //   - a failing Extra-Bypass write-port check charges the RF
 //     port-contention counter with a per-cycle-varying amount, so those
 //     cycles must step singly (return cycle+1).
-func (c *Core) issueRetryAt(cycle int64, in *trace.Inst) int64 {
+func (c *Core) issueRetryAt(cycle int64, slot int) int64 {
+	s := &c.slots
 	next := int64(math.MaxInt64)
 	add := func(t int64) {
 		if t > cycle && t < next {
 			next = t
 		}
 	}
-	for _, src := range [2]isa.Reg{in.Src1, in.Src2} {
+	o := s.ops[slot]
+	for _, src := range [2]isa.Reg{o.S1, o.S2} {
 		if src == isa.RegNone {
 			continue
 		}
@@ -897,13 +1015,13 @@ func (c *Core) issueRetryAt(cycle int64, in *trace.Inst) int64 {
 			return next // the blocking source: later checks are not reached
 		}
 	}
-	if in.Dst != isa.RegNone && !c.sb.WriteReady(in.Dst) {
-		add(c.sb.NextChange(in.Dst))
+	if dst := o.D; dst != isa.RegNone && !c.sb.WriteReady(dst) {
+		add(c.sb.NextChange(dst))
 		return next
 	}
 	// A passing write view stays passing (no bubble, monotone) until a new
 	// producer issues — no candidate needed for the destination.
-	if isa.IsMem(in.Op) {
+	if isa.IsMem(s.op[slot]) {
 		// memIssued is always false here (nothing issued this cycle).
 		if c.mem.DL0.Busy(cycle) {
 			// NextFree never jumps a free gap (it walks the contiguous busy
@@ -967,8 +1085,8 @@ func (c *Core) produceLong(cycle int64, dst isa.Reg, avail int64) {
 // readSources models the register reads of an issuing instruction: through
 // the bypass network while the value is in flight, from the RF array (next
 // cycle, per the pipeline contract) afterwards.
-func (c *Core) readSources(cycle int64, in *trace.Inst) {
-	for _, src := range [2]isa.Reg{in.Src1, in.Src2} {
+func (c *Core) readSources(cycle int64, src1, src2 isa.Reg) {
+	for _, src := range [2]isa.Reg{src1, src2} {
 		if src == isa.RegNone {
 			continue
 		}

@@ -213,6 +213,87 @@ func TestPairProbeMatchesSequentialIssue(t *testing.T) {
 	}
 }
 
+// TestWidthsMatchReferenceEngine fuzzes the width axis: for every width in
+// 1..MaxWidth, the batched ready-set engine must be bit-identical to the
+// stepped reference engine (noSkip — the seed semantics, probe off) and to
+// the probe-disabled event-driven engine (noPair) on the same randomized
+// (profile, voltage, mode, N) points, cold and warm. Width 2 is covered by
+// the recorded golden; this extends the equivalence chain to the whole
+// axis.
+func TestWidthsMatchReferenceEngine(t *testing.T) {
+	src := rng.New(0x51DE)
+	profiles := append(workload.Profiles(), workload.MemBound())
+	levels := circuit.Levels()
+	modes := []circuit.Mode{circuit.ModeBaseline, circuit.ModeIRAW,
+		circuit.ModeFaultyBits, circuit.ModeExtraBypass}
+	iters := 24
+	if testing.Short() {
+		iters = 8
+	}
+	for i := 0; i < iters; i++ {
+		width := 1 + i%MaxWidth
+		p := profiles[src.Intn(len(profiles))]
+		v := levels[src.Intn(len(levels))]
+		mode := modes[src.Intn(len(modes))]
+		insts := 1500 + src.Intn(3000)
+
+		cfg := DefaultConfigWidth(v, mode, width)
+		if mode == circuit.ModeIRAW && src.Intn(3) == 0 {
+			cfg.ForcedN = 1 + src.Intn(3)
+		}
+		tr := workload.Generate(p, insts, uint64(i)+31337)
+
+		fast := MustNew(cfg)
+		stepped := MustNew(cfg)
+		stepped.noSkip = true
+		seq := MustNew(cfg)
+		seq.noPair = true
+		for pass := 0; pass < 2; pass++ {
+			fr, err := fast.Run(tr)
+			if err != nil {
+				t.Fatalf("iter %d pass %d (w=%d %s %v %v): fast engine: %v", i, pass, width, p.Name, v, mode, err)
+			}
+			sr, err := stepped.Run(tr)
+			if err != nil {
+				t.Fatalf("iter %d pass %d (w=%d %s %v %v): stepped engine: %v", i, pass, width, p.Name, v, mode, err)
+			}
+			qr, err := seq.Run(tr)
+			if err != nil {
+				t.Fatalf("iter %d pass %d (w=%d %s %v %v): probe-off engine: %v", i, pass, width, p.Name, v, mode, err)
+			}
+			if !reflect.DeepEqual(fr, sr) {
+				t.Fatalf("iter %d pass %d (w=%d %s %v %v N=%d): fast vs stepped diverge\nfast:    %+v\nstepped: %+v",
+					i, pass, width, p.Name, v, mode, cfg.ForcedN, fr, sr)
+			}
+			if !reflect.DeepEqual(fr, qr) {
+				t.Fatalf("iter %d pass %d (w=%d %s %v %v N=%d): probe changes results\nprobe: %+v\noff:   %+v",
+					i, pass, width, p.Name, v, mode, cfg.ForcedN, fr, qr)
+			}
+		}
+	}
+}
+
+// TestWiderCoreIssuesMore pins the point of the width axis: on a compute
+// trace at nominal voltage, a 4-wide core must finish in strictly fewer
+// cycles than the 2-wide core, and the 1-wide core in strictly more — the
+// ready-set probe has to actually move extra instructions per cycle.
+func TestWiderCoreIssuesMore(t *testing.T) {
+	tr := workload.Generate(workload.SpecInt(), 20000, 7)
+	cycles := map[int]uint64{}
+	for _, w := range []int{1, 2, 4} {
+		c := MustNew(DefaultConfigWidth(700, circuit.ModeBaseline, w))
+		res, err := c.Run(tr)
+		if err != nil {
+			t.Fatalf("width %d: %v", w, err)
+		}
+		cycles[w] = res.Run.Cycles
+	}
+	if !(cycles[4] < cycles[2] && cycles[2] < cycles[1]) {
+		t.Fatalf("cycles not strictly decreasing with width: w1=%d w2=%d w4=%d",
+			cycles[1], cycles[2], cycles[4])
+	}
+}
+
 // TestSkipEquivalenceUnderHoldPressure targets the overlapping-port-hold
 // attribution corner: a TLB-hostile, store-heavy workload at high N makes
 // DTLB walk-fill holds coincide with DL0 fill windows registered for

@@ -313,6 +313,44 @@ func (sb *Scoreboard) IssueReadyPair(a1, a2, ad, aProd, b1, b2, bd isa.Reg) (okA
 	return true, sb.IssueReady(b1, b2, bd)
 }
 
+// IssueOp is one issue-slot operand set for IssueReadySet: the two sources,
+// the destination, and Prod — the register the slot's issue would install a
+// producer for (RegNone for non-producing ops: stores, control, fences).
+type IssueOp struct {
+	S1, S2, D, Prod isa.Reg
+}
+
+// IssueReadySet resolves up to 32 in-order issue slots in one scoreboard
+// probe — the width-N generalization of IssueReadyPair. Bit i of the result
+// is set iff slot i passes IssueReady *as if slots 0..i-1 had just issued*:
+// a slot whose source or destination overlaps any older slot's Prod is
+// blocked (intra-group RAW or WAW), because a freshly issued producer of
+// latency >= 1 is never read- or write-ready in its issue cycle, while no
+// other register's state changes when the older slots issue. Verdicts stop
+// at the first not-ready slot (in-order issue: younger bits stay 0). The
+// probe mutates nothing; sequentially probing IssueReady with each issue's
+// IssueProducer applied yields exactly the same bits — the property test
+// holds the two together.
+func (sb *Scoreboard) IssueReadySet(ops []IssueOp) uint32 {
+	var mask, fresh uint32 // fresh: registers produced by already-granted slots
+	for i := range ops {
+		op := &ops[i]
+		if op.S1 != isa.RegNone && fresh>>op.S1&1 == 1 ||
+			op.S2 != isa.RegNone && fresh>>op.S2&1 == 1 ||
+			op.D != isa.RegNone && fresh>>op.D&1 == 1 {
+			break
+		}
+		if !sb.IssueReady(op.S1, op.S2, op.D) {
+			break
+		}
+		mask |= 1 << uint(i)
+		if op.Prod != isa.RegNone {
+			fresh |= 1 << op.Prod
+		}
+	}
+	return mask
+}
+
 // IRAWBlocked reports whether a consumer of r is blocked *only* by the
 // stabilization bubble: the value is available (a baseline machine would
 // issue) but the RF entry is still stabilizing. This distinguishes the

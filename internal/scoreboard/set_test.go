@@ -1,0 +1,69 @@
+package scoreboard
+
+import (
+	"testing"
+
+	"lowvcc/internal/isa"
+	"lowvcc/internal/rng"
+)
+
+// TestIssueReadySetMatchesSequentialProbes fuzzes the batched ready-set
+// probe against its contract: bit i equals a one-slot IssueReady probe of
+// slot i taken *after* the issues of every granted older slot are applied,
+// and bits stop at the first not-ready slot (in-order issue). The fuzz
+// actually applies each granted slot's issue (IssueProducer on its produced
+// register, with a random latency) before checking the next bit, so the
+// fresh-producer shortcut is held to the mutation it predicts.
+func TestIssueReadySetMatchesSequentialProbes(t *testing.T) {
+	sb := New(DefaultConfig())
+	src := rng.New(0x5E7B17)
+	var ops [4]IssueOp
+	for i := 0; i < 40000; i++ {
+		mutateScoreboard(sb, src)
+		n := 1 + src.Intn(len(ops))
+		for j := 0; j < n; j++ {
+			d := randReg(src)
+			prod := d
+			if src.Intn(4) == 0 {
+				prod = isa.RegNone // store/control shape: no producer
+			}
+			ops[j] = IssueOp{S1: randReg(src), S2: randReg(src), D: d, Prod: prod}
+		}
+		mask := sb.IssueReadySet(ops[:n])
+
+		// The two-slot probe is the n=2 special case; hold them together.
+		if n >= 2 {
+			okA, okB := sb.IssueReadyPair(
+				ops[0].S1, ops[0].S2, ops[0].D, ops[0].Prod,
+				ops[1].S1, ops[1].S2, ops[1].D)
+			pair := uint32(0)
+			if okA {
+				pair |= 1
+			}
+			if okB {
+				pair |= 2
+			}
+			if mask&3 != pair {
+				t.Fatalf("op %d: set mask %02b disagrees with pair probe %02b", i, mask&3, pair)
+			}
+		}
+
+		for j := 0; j < n; j++ {
+			op := ops[j]
+			want := sb.IssueReady(op.S1, op.S2, op.D)
+			if got := mask>>uint(j)&1 == 1; got != want {
+				t.Fatalf("op %d slot %d/%d: set bit = %v, sequential probe says %v (mask %04b, %+v)",
+					i, j, n, got, want, mask, op)
+			}
+			if !want {
+				if rest := mask >> uint(j); rest != 0 {
+					t.Fatalf("op %d slot %d: bits %04b set past the first not-ready slot", i, j, mask)
+				}
+				break
+			}
+			if op.Prod != isa.RegNone {
+				sb.IssueProducer(op.Prod, 1+src.Intn(sb.MaxShortLatency()))
+			}
+		}
+	}
+}

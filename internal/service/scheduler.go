@@ -217,7 +217,7 @@ func expandSpec(id string, spec sim.SweepSpec) ([]Cell, error) {
 	var cells []Cell
 	for mi, mode := range modes {
 		for _, v := range spec.Levels() {
-			cfg := core.DefaultConfig(v, mode)
+			cfg := spec.PointConfig(v, mode)
 			label := sim.SweepLabel(v, mode)
 			for ti, tr := range traces {
 				key, err := runner.CellKey(cfg, tr)

@@ -9,7 +9,6 @@ import (
 	"time"
 
 	"lowvcc/internal/circuit"
-	"lowvcc/internal/core"
 	"lowvcc/internal/journal"
 	"lowvcc/internal/sim"
 )
@@ -221,7 +220,7 @@ func executeCell(ctx context.Context, lease *Lease, opts WorkerOpts) error {
 	if tr.Name != c.TraceName {
 		return fmt.Errorf("cell %d: trace %d is %q here, %q on the daemon (workload drift)", c.Index, c.TraceIdx, tr.Name, c.TraceName)
 	}
-	cfg := core.DefaultConfig(circuit.Millivolts(c.VccMV), mode)
+	cfg := c.Spec.PointConfig(circuit.Millivolts(c.VccMV), mode)
 
 	// Push-down workers journal privately (fsync off: the daemon's journal
 	// is the durability boundary, this one is a scratch cache); in-process

@@ -31,8 +31,8 @@ func CompilerResched(traces []*trace.Trace, v circuit.Millivolts, minGap int) (*
 		resched[i] = workload.Reschedule(tr, minGap)
 	}
 
-	baseCfg := core.DefaultConfig(v, circuit.ModeBaseline)
-	irawCfg := core.DefaultConfig(v, circuit.ModeIRAW)
+	baseCfg := defaultRunner.pointConfig(v, circuit.ModeBaseline)
+	irawCfg := defaultRunner.pointConfig(v, circuit.ModeIRAW)
 	_, aggs, err := defaultRunner.runPoints(context.Background(), []PointSpec{
 		{Label: fmt.Sprintf("resched %v baseline", v), Cfg: baseCfg, Traces: traces},
 		{Label: fmt.Sprintf("resched %v iraw", v), Cfg: irawCfg, Traces: traces},
@@ -69,7 +69,7 @@ func GateSensitivity(traces []*trace.Trace, v circuit.Millivolts) ([]GateSensiti
 	configs := []struct{ ici, ai int }{{2, 2}, {2, 4}, {4, 2}, {4, 4}}
 	specs := make([]PointSpec, 0, len(configs))
 	for _, cc := range configs {
-		cfg := core.DefaultConfig(v, circuit.ModeIRAW)
+		cfg := defaultRunner.pointConfig(v, circuit.ModeIRAW)
 		cfg.IQ.ICI = cc.ici
 		cfg.IQ.AI = cc.ai
 		if cfg.Width > cc.ici {
@@ -113,7 +113,7 @@ func STableSizing(traces []*trace.Trace, v circuit.Millivolts) ([]STableSizingRo
 	widths := []int{1, 2, 4}
 	specs := make([]PointSpec, 0, len(widths))
 	for _, spc := range widths {
-		cfg := core.DefaultConfig(v, circuit.ModeIRAW)
+		cfg := defaultRunner.pointConfig(v, circuit.ModeIRAW)
 		cfg.Hierarchy.StoresPerCycle = spc
 		specs = append(specs, PointSpec{
 			Label: fmt.Sprintf("stable %v spc=%d", v, spc),
@@ -138,6 +138,63 @@ func STableSizing(traces []*trace.Trace, v circuit.Millivolts) ([]STableSizingRo
 	return rows, nil
 }
 
+// WidthAblationRow is one (width, voltage) cell of the core-width
+// ablation: the baseline and IRAW designs simulated at that fetch/issue
+// width.
+type WidthAblationRow struct {
+	Width   int
+	Vcc     circuit.Millivolts
+	IPCBase float64
+	IPCIRAW float64
+	// PerfGain is T_baseline / T_IRAW at this width and voltage — how the
+	// IRAW mechanism's cost scales with issue width.
+	PerfGain float64
+	// WidthGain is T_baseline(widths[0]) / T_baseline(width) at this
+	// voltage — the baseline speedup over the narrowest swept width
+	// (1.0 for the first width).
+	WidthGain float64
+}
+
+// WidthAblation sweeps the mechanism comparison across fetch/issue widths:
+// every (width, voltage, design) config is built with
+// core.DefaultConfigWidth, so wide cores get matching IQ issue/alloc
+// bounds. All cells fan out together through one runPoints call. The rows
+// come back in (width, voltage) order.
+func WidthAblation(ctx context.Context, traces []*trace.Trace, widths []int, levels []circuit.Millivolts) ([]WidthAblationRow, error) {
+	modes := []circuit.Mode{circuit.ModeBaseline, circuit.ModeIRAW}
+	specs := make([]PointSpec, 0, len(modes)*len(widths)*len(levels))
+	for _, w := range widths {
+		for _, v := range levels {
+			for _, mode := range modes {
+				specs = append(specs, PointSpec{
+					Label:  fmt.Sprintf("width %d %v %v", w, v, mode),
+					Cfg:    core.DefaultConfigWidth(v, mode, w),
+					Traces: traces,
+				})
+			}
+		}
+	}
+	_, aggs, err := defaultRunner.runPoints(ctx, specs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]WidthAblationRow, 0, len(widths)*len(levels))
+	for wi, w := range widths {
+		for li, v := range levels {
+			base := aggs[2*(wi*len(levels)+li)]
+			iraw := aggs[2*(wi*len(levels)+li)+1]
+			ref := aggs[2*li] // widths[0] baseline at this voltage
+			rows = append(rows, WidthAblationRow{
+				Width: w, Vcc: v,
+				IPCBase: base.IPC(), IPCIRAW: iraw.IPC(),
+				PerfGain:  base.Time / iraw.Time,
+				WidthGain: ref.Time / base.Time,
+			})
+		}
+	}
+	return rows, nil
+}
+
 // DeterminismResult compares the default (ignore violations) and the
 // deterministic (testability) BP/RSB variants of Section 4.5.
 type DeterminismResult struct {
@@ -150,8 +207,8 @@ type DeterminismResult struct {
 // DeterminismMode measures the cost of the deterministic RSB variant. Both
 // variants fan out together through one runPoints call.
 func DeterminismMode(traces []*trace.Trace, v circuit.Millivolts) (*DeterminismResult, error) {
-	defCfg := core.DefaultConfig(v, circuit.ModeIRAW)
-	detCfg := core.DefaultConfig(v, circuit.ModeIRAW)
+	defCfg := defaultRunner.pointConfig(v, circuit.ModeIRAW)
+	detCfg := defaultRunner.pointConfig(v, circuit.ModeIRAW)
 	detCfg.Predictor.Deterministic = true
 	_, aggs, err := defaultRunner.runPoints(context.Background(), []PointSpec{
 		{Label: fmt.Sprintf("determinism %v default", v), Cfg: defCfg, Traces: traces},
@@ -186,11 +243,11 @@ type CombinedFaultyRow struct {
 func CombinedFaulty(traces []*trace.Trace, levels []circuit.Millivolts) ([]CombinedFaultyRow, error) {
 	specs := make([]PointSpec, 0, 3*len(levels))
 	for _, v := range levels {
-		comb := core.DefaultConfig(v, circuit.ModeIRAW)
+		comb := defaultRunner.pointConfig(v, circuit.ModeIRAW)
 		comb.CombineFaultyBits = true
 		specs = append(specs,
-			PointSpec{Label: fmt.Sprintf("combined %v baseline", v), Cfg: core.DefaultConfig(v, circuit.ModeBaseline), Traces: traces},
-			PointSpec{Label: fmt.Sprintf("combined %v iraw", v), Cfg: core.DefaultConfig(v, circuit.ModeIRAW), Traces: traces},
+			PointSpec{Label: fmt.Sprintf("combined %v baseline", v), Cfg: defaultRunner.pointConfig(v, circuit.ModeBaseline), Traces: traces},
+			PointSpec{Label: fmt.Sprintf("combined %v iraw", v), Cfg: defaultRunner.pointConfig(v, circuit.ModeIRAW), Traces: traces},
 			PointSpec{Label: fmt.Sprintf("combined %v iraw+faulty", v), Cfg: comb, Traces: traces},
 		)
 	}

@@ -319,7 +319,7 @@ type BPStatsResult struct {
 
 // BPStats measures the prediction-only violation statistics at v.
 func BPStats(traces []*trace.Trace, v circuit.Millivolts) (*BPStatsResult, error) {
-	cfg := core.DefaultConfig(v, circuit.ModeIRAW)
+	cfg := defaultRunner.pointConfig(v, circuit.ModeIRAW)
 	_, agg, err := RunPoint(cfg, traces)
 	if err != nil {
 		return nil, err
@@ -389,10 +389,10 @@ func NSweep(traces []*trace.Trace, v circuit.Millivolts, maxN int) ([]NSweepRow,
 	specs := make([]PointSpec, 0, maxN+1)
 	specs = append(specs, PointSpec{
 		Label: fmt.Sprintf("nsweep %v baseline", v),
-		Cfg:   core.DefaultConfig(v, circuit.ModeBaseline), Traces: traces,
+		Cfg:   defaultRunner.pointConfig(v, circuit.ModeBaseline), Traces: traces,
 	})
 	for n := 1; n <= maxN; n++ {
-		cfg := core.DefaultConfig(v, circuit.ModeIRAW)
+		cfg := defaultRunner.pointConfig(v, circuit.ModeIRAW)
 		cfg.ForcedN = n
 		specs = append(specs, PointSpec{
 			Label: fmt.Sprintf("nsweep %v N=%d", v, n),
@@ -427,8 +427,8 @@ type ValidationResult struct {
 // fan out together through one runPoints call, so the pool never drains
 // between them.
 func Validate(traces []*trace.Trace, v circuit.Millivolts) (*ValidationResult, error) {
-	safeCfg := core.DefaultConfig(v, circuit.ModeIRAW)
-	unsafeCfg := core.DefaultConfig(v, circuit.ModeIRAW)
+	safeCfg := defaultRunner.pointConfig(v, circuit.ModeIRAW)
+	unsafeCfg := defaultRunner.pointConfig(v, circuit.ModeIRAW)
 	unsafeCfg.DisableAvoidance = true
 	_, aggs, err := defaultRunner.runPoints(context.Background(), []PointSpec{
 		{Label: fmt.Sprintf("validate %v safe", v), Cfg: safeCfg, Traces: traces},

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"lowvcc/internal/ckpt"
+	"lowvcc/internal/circuit"
 	"lowvcc/internal/core"
 )
 
@@ -24,6 +25,17 @@ import (
 type Runner struct {
 	// Workers bounds concurrency; <= 0 selects runtime.GOMAXPROCS(0).
 	Workers int
+
+	// Width is the fetch/issue width of every core configuration the
+	// runner builds itself (the sweep grids and the default-config
+	// experiment paths); 0 selects the modelled core's default width
+	// (core.DefaultConfig). It does not override the Cfg of an explicit
+	// PointSpec. The width is part of the full core configuration, so it
+	// flows into every journal content address — sweeps at different
+	// widths never collide. Validated by core.Config.Validate via
+	// core.DefaultConfigWidth, which also grows the IQ issue/alloc bounds
+	// to fit wide cores.
+	Width int
 
 	// PointTimeout, when positive, bounds each (point, trace) cell's wall
 	// clock, measured from the cell's first claimed window. A cell that
@@ -143,6 +155,14 @@ type Runner struct {
 	ckptMemo *ckpt.Store
 }
 
+// WithWidth sets the fetch/issue width of runner-built core
+// configurations (0 = the modelled default; see Width) and returns r for
+// chaining.
+func (r *Runner) WithWidth(w int) *Runner {
+	r.Width = w
+	return r
+}
+
 // WithPointTimeout sets the per-cell wall-clock budget and returns r for
 // chaining.
 func (r *Runner) WithPointTimeout(d time.Duration) *Runner {
@@ -244,6 +264,19 @@ func (r *Runner) WithCheckpointDir(dir string) *Runner {
 func (r *Runner) WithDisableCheckpoints(disable bool) *Runner {
 	r.DisableCheckpoints = disable
 	return r
+}
+
+// pointConfig builds the core configuration for one operating point under
+// the runner's width: the modelled default config at Width 0 (bit-identical
+// journal keys to width-oblivious runners), core.DefaultConfigWidth
+// otherwise. Every runner-built sweep grid goes through here so local
+// sweeps, the sweep daemon and its workers agree on each cell's config —
+// and therefore on its journal content address.
+func (r *Runner) pointConfig(v circuit.Millivolts, mode circuit.Mode) core.Config {
+	if r.Width == 0 {
+		return core.DefaultConfig(v, mode)
+	}
+	return core.DefaultConfigWidth(v, mode, r.Width)
 }
 
 // Automatic windowing policy: with WindowInsts 0, traces of at least

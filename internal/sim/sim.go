@@ -187,6 +187,11 @@ var defaultRunner = &Runner{}
 // flag does); it is not synchronized against experiments already running.
 func SetWorkers(n int) { defaultRunner.Workers = n }
 
+// SetWidth sets the fetch/issue width of every core configuration the
+// default runner builds (the cmd tools' -width flag); 0 restores the
+// modelled default width. Startup-time only, like SetWorkers.
+func SetWidth(w int) { defaultRunner.WithWidth(w) }
+
 // SetProgress installs a per-cell completion callback on the default
 // runner (the cmd tools' -progress flag); nil removes it. Startup-time
 // only, like SetWorkers.
@@ -298,9 +303,11 @@ func StreamLevels(ctx context.Context, traces []*trace.Trace, modes []circuit.Mo
 }
 
 // CalibratedEnergy builds an energy model calibrated on the 600 mV baseline
-// aggregate, as the paper prescribes.
+// aggregate, as the paper prescribes. The calibration point is built at
+// the default runner's configured width so width sweeps calibrate against
+// a same-width baseline.
 func CalibratedEnergy(traces []*trace.Trace) (*energy.Model, error) {
-	cfg := core.DefaultConfig(600, circuit.ModeBaseline)
+	cfg := defaultRunner.pointConfig(600, circuit.ModeBaseline)
 	_, agg, err := RunPoint(cfg, traces)
 	if err != nil {
 		return nil, err

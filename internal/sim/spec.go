@@ -38,6 +38,13 @@ type SweepSpec struct {
 	WindowInsts int    `json:"window_insts,omitempty"`
 	WarmInsts   int    `json:"warm_insts,omitempty"`
 	WarmMode    string `json:"warm_mode,omitempty"` // "functional" (default) or "timed"
+	// Width mirrors Runner.Width: the fetch/issue width of every core
+	// configuration in the sweep grid, 0 for the modelled default. It is
+	// part of the full core configuration and therefore of every cell's
+	// journal content address, so the daemon and its worker processes must
+	// agree on it — both build each cell's config through the same
+	// width-aware path.
+	Width int `json:"width,omitempty"`
 }
 
 // Validate reports whether the spec is structurally runnable. It is the
@@ -67,6 +74,9 @@ func (s SweepSpec) Validate() error {
 	}
 	if _, err := ParseWarmMode(s.WarmMode); err != nil {
 		return err
+	}
+	if s.Width != 0 && (s.Width < 1 || s.Width > core.MaxWidth) {
+		return fmt.Errorf("sim: spec: width %d out of range [1, %d] (0 = default)", s.Width, core.MaxWidth)
 	}
 	return nil
 }
@@ -133,12 +143,22 @@ func (s SweepSpec) Traces() []*trace.Trace {
 	return SuiteSpec{InstsPerTrace: s.InstsPerTrace, SeedsPerProfile: s.SeedsPerProfile}.Traces()
 }
 
-// NewRunner builds a Runner carrying the spec's windowing plan — the
-// configuration under which every cell's journal key is defined. Call
-// Validate first: an unparseable warm mode falls back to functional here.
+// NewRunner builds a Runner carrying the spec's windowing plan and core
+// width — the configuration under which every cell's journal key is
+// defined. Call Validate first: an unparseable warm mode falls back to
+// functional here.
 func (s SweepSpec) NewRunner() *Runner {
 	wm, _ := ParseWarmMode(s.WarmMode)
-	return (&Runner{}).WithWindow(s.WindowInsts, s.WarmInsts).WithWarmMode(wm)
+	return (&Runner{}).WithWindow(s.WindowInsts, s.WarmInsts).WithWarmMode(wm).WithWidth(s.Width)
+}
+
+// PointConfig builds the core configuration of one of the spec's cells —
+// the spec's width applied over the modelled default. The sweep daemon
+// (key planning) and its external workers (lease execution) both construct
+// configs through here, which is what keeps their journal content
+// addresses in agreement.
+func (s SweepSpec) PointConfig(v circuit.Millivolts, mode circuit.Mode) core.Config {
+	return (&Runner{Width: s.Width}).pointConfig(v, mode)
 }
 
 // SweepLabel is the canonical label of one operating point's cells, shared

@@ -109,7 +109,7 @@ func TestParseModes(t *testing.T) {
 // sweep grid must agree — fault-injection rules and service cells address
 // points by this string.
 func TestSweepLabelMatchesStream(t *testing.T) {
-	specs := sweepSpecs(nil, []circuit.Mode{circuit.ModeIRAW}, []circuit.Millivolts{475})
+	specs := (&Runner{}).sweepSpecs(nil, []circuit.Mode{circuit.ModeIRAW}, []circuit.Millivolts{475})
 	if got, want := specs[0].Label, SweepLabel(475, circuit.ModeIRAW); got != want {
 		t.Fatalf("sweepSpecs label %q != SweepLabel %q", got, want)
 	}

@@ -596,14 +596,15 @@ type SweepUpdate struct {
 }
 
 // sweepSpecs expands a (modes x levels) grid into PointSpecs in the fixed
-// (mode, level) order every sweep consumer indexes by.
-func sweepSpecs(traces []*trace.Trace, modes []circuit.Mode, levels []circuit.Millivolts) []PointSpec {
+// (mode, level) order every sweep consumer indexes by, each cell at the
+// runner's configured width (pointConfig).
+func (r *Runner) sweepSpecs(traces []*trace.Trace, modes []circuit.Mode, levels []circuit.Millivolts) []PointSpec {
 	specs := make([]PointSpec, 0, len(modes)*len(levels))
 	for _, mode := range modes {
 		for _, v := range levels {
 			specs = append(specs, PointSpec{
 				Label:  SweepLabel(v, mode),
-				Cfg:    core.DefaultConfig(v, mode),
+				Cfg:    r.pointConfig(v, mode),
 				Traces: traces,
 			})
 		}
@@ -704,7 +705,7 @@ func asCellError(err error) *CellError {
 // channel closes. Consumers must drain the channel (cancel ctx to abandon
 // early).
 func (r *Runner) SweepStream(ctx context.Context, traces []*trace.Trace, modes []circuit.Mode, levels []circuit.Millivolts) <-chan SweepUpdate {
-	specs := sweepSpecs(traces, modes, levels)
+	specs := r.sweepSpecs(traces, modes, levels)
 	out := make(chan SweepUpdate)
 	go func() {
 		defer close(out)

@@ -133,7 +133,7 @@ func TestShardStitchGolden(t *testing.T) {
 // (Done strictly less than Total on the first receive).
 func TestStreamEmitsIncrementally(t *testing.T) {
 	traces := SuiteSpec{InstsPerTrace: 3000, SeedsPerProfile: 1}.Traces()
-	specs := sweepSpecs(traces, streamModes, streamLevels)
+	specs := (&Runner{}).sweepSpecs(traces, streamModes, streamLevels)
 	r := &Runner{Workers: 1}
 	first := true
 	for u := range r.Stream(context.Background(), specs) {
@@ -158,7 +158,7 @@ func TestStreamEmitsIncrementally(t *testing.T) {
 // context.Canceled to batch collectors.
 func TestStreamCancellation(t *testing.T) {
 	traces := SuiteSpec{InstsPerTrace: 20000, SeedsPerProfile: 2}.Traces()
-	specs := sweepSpecs(traces, streamModes, circuit.Levels())
+	specs := (&Runner{}).sweepSpecs(traces, streamModes, circuit.Levels())
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 

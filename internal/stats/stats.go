@@ -73,8 +73,12 @@ type Run struct {
 	DelayedByRFIRAW uint64
 	// IssuedNOOPs counts drain NOOPs issued (not program instructions).
 	IssuedNOOPs uint64
-	// IssueHist[k] counts cycles that issued k instructions (k capped at
-	// the width); FetchHist likewise for fetched instructions.
+	// IssueHist[k] counts cycles that issued k instructions; FetchHist
+	// likewise for fetched instructions. The histograms keep the modelled
+	// dual-issue shape at every width: bucket 2 means "2 or more", so cores
+	// wider than 2 fold their 3- and 4-issue cycles into it. That keeps Run
+	// comparable (and bit-identical at width 2) across the whole width axis
+	// rather than resizing with core.Config.Width.
 	IssueHist [3]uint64
 	FetchHist [3]uint64
 }

@@ -68,6 +68,13 @@ func Levels() []Millivolts { return circuit.Levels() }
 // DefaultConfig returns the modelled Silverthorne-like core at (v, mode).
 func DefaultConfig(v Millivolts, mode Mode) Config { return core.DefaultConfig(v, mode) }
 
+// DefaultConfigWidth is DefaultConfig at an explicit fetch/issue width in
+// [1, core.MaxWidth], growing the IQ issue/alloc bounds to fit wide cores;
+// width 2 returns DefaultConfig exactly.
+func DefaultConfigWidth(v Millivolts, mode Mode, width int) Config {
+	return core.DefaultConfigWidth(v, mode, width)
+}
+
 // NewCore builds a core for cfg.
 func NewCore(cfg Config) (*Core, error) { return core.New(cfg) }
 

@@ -16,7 +16,11 @@
 #   3. a mid-sweep network partition (SIGSTOP a worker past the lease TTL,
 #      then SIGCONT) plus another kill -9 still converges byte-identical —
 #      the frozen worker abandons its reclaimed cell on thaw and rejoins;
-#   4. SIGTERM drains the daemon gracefully: it verifies the journal and
+#   4. a -width 3 sweep is byte-identical daemon vs local: the spec's
+#      width reaches both the daemon's cell keys and the workers'
+#      regenerated configs, so a width-threading bug on either side would
+#      fail the content check or change the rendered numbers;
+#   5. SIGTERM drains the daemon gracefully: it verifies the journal and
 #      exits 0.
 #
 # Usage: scripts/sweepd_smoke.sh [insts] [seeds]
@@ -179,6 +183,27 @@ if ! diff -u "$WORK/local_part.csv" "$WORK/daemon_part.csv"; then
 fi
 echo "sweepd_smoke: partition-survivor CSV identical to local CSV" >&2
 
+# Width scenario: a -width 3 sweep keys an entirely new cell grid (the
+# width is part of the full core config, hence of every journal content
+# address). The surviving worker regenerates each cell's width-3 config
+# from the spec; daemon and local must render the same CSV.
+echo "sweepd_smoke: local width-3 sweep" >&2
+"$WORK/vccsweep" -insts "$INSTS" -seeds "$SEEDS" -modes "$MODES" \
+  -width 3 -csv > "$WORK/local_w3.csv"
+echo "sweepd_smoke: width-3 sweep through vccsweep -server" >&2
+if ! "$WORK/vccsweep" -server "$ADDR" -insts "$INSTS" -seeds "$SEEDS" \
+  -modes "$MODES" -width 3 -csv > "$WORK/daemon_w3.csv" \
+  2> "$WORK/client_w3.err"; then
+  echo "sweepd_smoke: FAIL width-3 client sweep errored" >&2
+  cat "$WORK/client_w3.err" >&2
+  exit 1
+fi
+if ! diff -u "$WORK/local_w3.csv" "$WORK/daemon_w3.csv"; then
+  echo "sweepd_smoke: FAIL width-3 daemon sweep differs from local sweep" >&2
+  exit 1
+fi
+echo "sweepd_smoke: width-3 daemon CSV identical to local CSV" >&2
+
 echo "sweepd_smoke: SIGTERM daemon, expecting graceful drain + exit 0" >&2
 kill -TERM "$DAEMON_PID"
 DAEMON_RC=0
@@ -195,4 +220,4 @@ grep -q "journal verified" "$WORK/daemon.err" || {
 }
 DAEMON_PID=""
 
-echo "sweepd_smoke: PASS (no shared FS; kill -9 + partition mid-sweep; results identical; clean drain)"
+echo "sweepd_smoke: PASS (no shared FS; kill -9 + partition mid-sweep; width-3 grid; results identical; clean drain)"
